@@ -1,0 +1,17 @@
+//! Feasibility analysis and cost model (Sections I and III).
+//!
+//! Before building Flex, the paper estimates how often corrective actions
+//! would actually fire: maintenance must *coincide* with power utilization
+//! above the failover budget. This crate reproduces that analysis twice —
+//! closed-form ([`feasibility::FeasibilityModel`]) and by Monte-Carlo
+//! simulation of operation-years ([`feasibility::simulate_years`]) — and
+//! implements the construction-cost savings arithmetic
+//! ([`cost::CostModel`]) behind the paper's "$211M–$422M per 128 MW site".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod oversubscription;
+pub mod pricing;
+pub mod feasibility;

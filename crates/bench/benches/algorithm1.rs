@@ -1,0 +1,73 @@
+//! Criterion: Algorithm 1 decision latency — the software half of the
+//! 10-second end-to-end budget. Measured on the 360-rack emulation room
+//! and the 600-rack placement room at failover utilizations.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flex_core::online::policy::{decide, DecisionInput, PolicyConfig};
+use flex_core::online::ImpactRegistry;
+use flex_core::placement::policies::{BalancedRoundRobin, PlacementPolicy};
+use flex_core::placement::{PlacedRoom, RoomConfig};
+use flex_core::power::{FeedState, Fraction, UpsId, Watts};
+use flex_core::workload::impact::scenarios;
+use flex_core::workload::power_model::RackPowerModel;
+use flex_core::workload::trace::{TraceConfig, TraceGenerator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn setup(room_config: RoomConfig) -> (PlacedRoom, Vec<Watts>, Vec<Watts>, ImpactRegistry) {
+    let room = room_config.build().unwrap();
+    let config = TraceConfig::microsoft(room.provisioned_power());
+    let mut rng = SmallRng::seed_from_u64(9);
+    let trace = TraceGenerator::new(config).generate(&mut rng);
+    let placement = BalancedRoundRobin.place(&room, &trace, &mut rng);
+    let placed = PlacedRoom::materialize(&room, &trace, &placement);
+    let provisioned: Vec<Watts> = placed.racks().iter().map(|r| r.provisioned).collect();
+    let draws = RackPowerModel::default_microsoft().sample_room_at_utilization(
+        &provisioned,
+        Fraction::clamped(0.85),
+        &mut rng,
+    );
+    let topo = placed.room().topology().clone();
+    let feed = FeedState::with_failed(&topo, [UpsId(0)]);
+    let loads = placed.ups_loads(&draws, &feed);
+    let ups_power: Vec<Watts> = topo.ups_ids().into_iter().map(|u| loads.load(u)).collect();
+    let registry = ImpactRegistry::from_scenario(
+        placed.racks().iter().map(|r| (r.deployment, r.category)),
+        &scenarios::realistic_1(),
+    );
+    (placed, draws, ups_power, registry)
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1/decide");
+    for (label, room) in [
+        ("360-rack-room", RoomConfig::paper_emulation_room()),
+        ("600-rack-room", RoomConfig::paper_placement_room()),
+    ] {
+        let (placed, draws, ups_power, registry) = setup(room);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let input = DecisionInput {
+                    topology: placed.room().topology(),
+                    racks: placed.racks(),
+                    rack_power: &draws,
+                    ups_power: &ups_power,
+                };
+                let outcome = decide(
+                    &input,
+                    &HashMap::new(),
+                    &registry,
+                    &PolicyConfig::default(),
+                );
+                assert!(outcome.safe);
+                outcome
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide);
+criterion_main!(benches);

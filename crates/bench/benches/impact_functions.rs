@@ -1,0 +1,42 @@
+//! Criterion: impact-function evaluation and registry lookup — the inner
+//! loop of Algorithm 1's candidate scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flex_core::online::ImpactRegistry;
+use flex_core::power::Fraction;
+use flex_core::workload::impact::scenarios;
+use flex_core::workload::{DeploymentId, WorkloadCategory};
+
+fn bench_impact(c: &mut Criterion) {
+    let f = scenarios::realistic_1().software_redundant;
+    c.bench_function("impact/eval", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = (x + 7) % 101;
+            f.eval(Fraction::clamped(x as f64 / 100.0))
+        })
+    });
+
+    let scenario = scenarios::realistic_2();
+    let registry = ImpactRegistry::from_scenario(
+        (0..64).map(|i| {
+            let cat = match i % 3 {
+                0 => WorkloadCategory::SoftwareRedundant,
+                1 => WorkloadCategory::CapAble,
+                _ => WorkloadCategory::NonCapAble,
+            };
+            (DeploymentId(i), cat)
+        }),
+        &scenario,
+    );
+    c.bench_function("impact/registry-lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            registry.impact(DeploymentId(i), WorkloadCategory::CapAble, i % 20, 20)
+        })
+    });
+}
+
+criterion_group!(benches, bench_impact);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion: simplex and branch-and-bound scaling on knapsack-shaped
+//! models (the Gurobi stand-in's core loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flex_core::milp::simplex::solve_relaxation;
+use flex_core::milp::{Model, Relation, Sense, SolveConfig};
+
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_binary(format!("x{i}"), ((i * 37 + 11) % 50 + 1) as f64))
+        .collect();
+    m.add_constraint(
+        "cap",
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, ((i * 53 + 7) % 30 + 1) as f64)),
+        Relation::Le,
+        (4 * n) as f64,
+    )
+    .unwrap();
+    // A few side constraints to mimic the placement structure.
+    for k in 0..6 {
+        m.add_constraint(
+            format!("side{k}"),
+            vars.iter()
+                .enumerate()
+                .filter(|(i, _)| i % 6 == k)
+                .map(|(_, &v)| (v, 1.0)),
+            Relation::Le,
+            (n / 8).max(1) as f64,
+        )
+        .unwrap();
+    }
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp/lp-relaxation");
+    for n in [30usize, 60, 120, 240] {
+        let m = knapsack(n);
+        let bounds: Vec<(f64, f64)> = (0..m.var_count()).map(|_| (0.0, 1.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solve_relaxation(&m, &bounds).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_branch_and_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp/branch-and-bound");
+    group.sample_size(10);
+    for n in [20usize, 40, 80] {
+        let m = knapsack(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| m.solve(&SolveConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_branch_and_bound);
+criterion_main!(benches);

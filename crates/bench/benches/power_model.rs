@@ -1,0 +1,42 @@
+//! Criterion: the electrical substrate — failover load transfer and
+//! cascade stepping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flex_core::power::cascade::CascadeSim;
+use flex_core::power::trip_curve::TripCurve;
+use flex_core::power::{FeedState, LoadModel, Topology, UpsId, Watts};
+
+fn loaded_model(x: usize) -> LoadModel {
+    let topo = Topology::distributed_redundant(x, Watts::from_mw(2.4)).unwrap();
+    let mut load = LoadModel::new(&topo);
+    for p in topo.pdu_pairs() {
+        load.set_pair_load(p.id(), Watts::from_kw(1500.0));
+    }
+    load
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power/ups-loads");
+    for x in [4usize, 6] {
+        let model = loaded_model(x);
+        let topo = model.topology().clone();
+        let feed = FeedState::with_failed(&topo, [UpsId(0)]);
+        group.bench_with_input(BenchmarkId::from_parameter(x), &x, |b, _| {
+            b.iter(|| model.ups_loads(&feed))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    c.bench_function("power/cascade-100-steps", |b| {
+        b.iter(|| {
+            let mut sim = CascadeSim::new(loaded_model(4), TripCurve::end_of_life(), 60.0);
+            sim.fail_ups(UpsId(0)).unwrap();
+            sim.run(10.0, 0.1, |_, _| {})
+        })
+    });
+}
+
+criterion_group!(benches, bench_transfer, bench_cascade);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion: telemetry pipeline tick cost (4 UPSes with 3-way
+//! consensus, plus rack snapshots at room scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flex_core::power::meter::GroundTruth;
+use flex_core::power::{FeedState, LoadModel, Topology, Watts};
+use flex_core::sim::rng::RngPool;
+use flex_core::sim::SimTime;
+use flex_core::telemetry::{Pipeline, PipelineConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let topo = Topology::distributed_redundant(4, Watts::from_mw(2.4)).unwrap();
+    let mut load = LoadModel::new(&topo);
+    for p in topo.pdu_pairs() {
+        load.set_pair_load(p.id(), Watts::from_kw(1200.0));
+    }
+    let truth = GroundTruth::capture(&load, &FeedState::all_online(&topo));
+
+    let mut group = c.benchmark_group("telemetry");
+    group.bench_function("ups-poll-tick", |b| {
+        let mut pipeline = Pipeline::new(PipelineConfig::production(), 4, 0, &RngPool::new(1));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            pipeline.poll_upses(SimTime::from_nanos(i * 1_500_000_000), &truth)
+        })
+    });
+    for racks in [120usize, 360, 600] {
+        let rack_truth = vec![Watts::from_kw(13.0); racks];
+        group.bench_with_input(
+            BenchmarkId::new("rack-poll-tick", racks),
+            &racks,
+            |b, _| {
+                let mut pipeline =
+                    Pipeline::new(PipelineConfig::production(), 4, racks, &RngPool::new(1));
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    pipeline.poll_racks(SimTime::from_nanos(i * 2_000_000_000), &rack_truth)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation: forecast-aware placement (the paper's §V-A future work,
+//! implemented). Short batches plus discounted phantom demand sampled
+//! from the demand *distribution* should close part of the gap between
+//! Flex-Offline-Short and the full-visibility Oracle — without peeking
+//! at the actual future.
+
+use flex_bench::{median, paper_room_and_trace, study_ilp_config, trace_count};
+use flex_core::placement::forecast::ForecastAware;
+use flex_core::placement::metrics::{stranded_fraction, throttling_imbalance};
+use flex_core::placement::policies::{replay, FlexOffline, PlacementPolicy};
+use flex_core::workload::trace::TraceConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (room, base) = paper_room_and_trace(2026);
+    let n = trace_count().min(5);
+    let ilp = study_ilp_config();
+    let forecast_model = TraceConfig::microsoft(room.provisioned_power());
+
+    println!("Forecast-aware placement ablation over {n} shuffled traces\n");
+    println!(
+        "{:<24} {:>18} {:>22}",
+        "policy", "median stranded", "median imbalance"
+    );
+    let run = |name: &str,
+                   place: &dyn Fn(
+        &flex_core::workload::trace::DemandTrace,
+        &mut SmallRng,
+    ) -> flex_core::placement::Placement| {
+        let mut stranded = Vec::new();
+        let mut imbalance = Vec::new();
+        for s in 0..n {
+            let mut rng = SmallRng::seed_from_u64(0xF0C + s as u64);
+            let trace = base.shuffled(&mut rng);
+            let placement = place(&trace, &mut rng);
+            let state = replay(&room, &trace, &placement);
+            stranded.push(stranded_fraction(&state));
+            imbalance.push(throttling_imbalance(&state));
+        }
+        println!(
+            "{name:<24} {:>17.2}% {:>22.3}",
+            median(&stranded) * 100.0,
+            median(&imbalance)
+        );
+    };
+
+    let room_ref = &room;
+    let short = {
+        let ilp = ilp.clone();
+        move |t: &flex_core::workload::trace::DemandTrace, rng: &mut SmallRng| {
+            FlexOffline::short().with_config(ilp.clone()).place(room_ref, t, rng)
+        }
+    };
+    run("Flex-Offline-Short", &short);
+    let forecast = {
+        let ilp = ilp.clone();
+        let model = forecast_model.clone();
+        move |t: &flex_core::workload::trace::DemandTrace, rng: &mut SmallRng| {
+            ForecastAware::short(model.clone())
+                .with_config(ilp.clone())
+                .place(room_ref, t, rng)
+        }
+    };
+    run("Flex-Offline-Forecast", &forecast);
+    let oracle = {
+        let ilp = ilp.clone();
+        move |t: &flex_core::workload::trace::DemandTrace, rng: &mut SmallRng| {
+            FlexOffline::oracle().with_config(ilp.clone()).place(room_ref, t, rng)
+        }
+    };
+    run("Flex-Offline-Oracle", &oracle);
+    println!(
+        "\nthe forecast policy sees only the demand *distribution*, not the actual\n\
+         future trace; any gap it closes toward the Oracle is honest lookahead value."
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 1: traditional oversubscription vs Flex — and their
+//! combination.
+//!
+//! Oversubscription deploys more servers under the *failover budget* by
+//! exploiting sub-peak average draws (with capping on rare coincident
+//! peaks); Flex additionally allocates the *reserved* power. The paper
+//! notes they are orthogonal and multiply.
+
+use flex_core::analysis::oversubscription::OversubscriptionModel;
+use flex_core::power::{Topology, Watts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = Topology::distributed_redundant(4, Watts::from_mw(2.4))?;
+    let budget_racks = 450; // failover budget at 16 kW/rack (7.2 MW)
+    let model = OversubscriptionModel::paper_like();
+    println!("Figure 1 — oversubscription vs zero reserved power (4N/3, 9.6 MW provisioned)\n");
+    println!(
+        "per-rack draws: mean {:.0}% ± {:.0}% of provisioned; overload risk ε = 1e-4\n",
+        model.mean_utilization * 100.0,
+        model.std_utilization * 100.0
+    );
+    let oversub_ratio = model.ratio(budget_racks, 1e-4);
+    let flex_ratio = 1.0 + topo.extra_server_fraction();
+    let rows: Vec<(&str, f64)> = vec![
+        ("conventional (budget only)", 1.0),
+        ("+ oversubscription", oversub_ratio),
+        ("+ Flex (zero reserved power)", flex_ratio),
+        ("+ both (multiplied)", oversub_ratio * flex_ratio),
+    ];
+    println!("{:<32} {:>10} {:>14}", "strategy", "servers", "vs baseline");
+    for (name, ratio) in rows {
+        println!(
+            "{name:<32} {:>10.0} {:>+13.1}%",
+            budget_racks as f64 * ratio,
+            (ratio - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\npaper: oversubscription keeps the peak under the failover budget;\n\
+         Flex allocates the reserve itself (+33% for 4N/3); combined they stack."
+    );
+    Ok(())
+}

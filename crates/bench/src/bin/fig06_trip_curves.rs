@@ -1,0 +1,40 @@
+//! Figure 6: UPS overload tolerance curves at the beginning and end of
+//! battery life.
+//!
+//! Paper: at the worst-case 4N/3 failover load of 133%, the end-of-life
+//! curve gives 10 seconds of tolerance, plus 3.5 minutes of ride-through
+//! at 100% while generators start — hence Flex-Online's 10 s end-to-end
+//! budget.
+
+use flex_core::power::trip_curve::TripCurve;
+
+fn main() {
+    let bol = TripCurve::beginning_of_life();
+    let eol = TripCurve::end_of_life();
+    println!("Figure 6 — UPS overload tolerance (seconds at sustained load)\n");
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "load (%)", "begin of life (s)", "end of life (s)"
+    );
+    for load in [102, 105, 110, 115, 120, 125, 133, 140, 150, 175, 200] {
+        let f = load as f64 / 100.0;
+        let fmt = |c: &TripCurve| match c.tolerance(f) {
+            Some(t) => format!("{t:.1}"),
+            None => "∞".to_string(),
+        };
+        let marker = if load == 133 {
+            "   <- worst-case 4N/3 failover"
+        } else {
+            ""
+        };
+        println!("{load:<12} {:>18} {:>18}{marker}", fmt(&bol), fmt(&eol));
+    }
+    println!(
+        "\nride-through at 100% load while generators start: {:.1} min (paper: 3.5 min)",
+        eol.ride_through_secs() / 60.0
+    );
+    println!(
+        "end-of-life tolerance at 133%: {:.1} s — Flex-Online's end-to-end budget (paper: 10 s)",
+        eol.tolerance(4.0 / 3.0).expect("133% is an overload")
+    );
+}

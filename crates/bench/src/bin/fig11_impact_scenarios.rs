@@ -1,0 +1,39 @@
+//! Figure 11 (and Figure 8): the impact-function scenario library.
+//!
+//! Prints each scenario's software-redundant and cap-able impact curves
+//! so the Figure 12 decisions can be read against them.
+
+use flex_core::power::Fraction;
+use flex_core::workload::impact::{scenarios, ImpactFunction};
+
+fn curve_row(f: &ImpactFunction) -> String {
+    (0..=10)
+        .map(|i| {
+            let x = Fraction::clamped(i as f64 / 10.0);
+            format!("{:>5.2}", f.eval(x))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    println!("Figure 11 — impact scenarios (impact at affected-rack fraction 0%..100% in 10% steps)\n");
+    println!(
+        "{:<14} {:<10} {}",
+        "scenario",
+        "workload",
+        (0..=10)
+            .map(|i| format!("{:>5}", format!("{}%", i * 10)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for s in scenarios::all() {
+        println!("{:<14} {:<10} {}", s.name, "SR", curve_row(&s.software_redundant));
+        println!("{:<14} {:<10} {}", "", "cap-able", curve_row(&s.cap_able));
+    }
+    println!("\nFigure 8 examples:");
+    println!("{:<14} {:<10} {}", "fig8(A)", "cap-able", curve_row(&scenarios::figure8_a()));
+    println!("{:<14} {:<10} {}", "fig8(B)", "SR", curve_row(&scenarios::figure8_b()));
+    println!("{:<14} {:<10} {}", "fig8(C)", "SR", curve_row(&scenarios::figure8_c()));
+    println!("\nreading: 0 = act freely, 1 = critical (touch only if vital for safety).");
+}

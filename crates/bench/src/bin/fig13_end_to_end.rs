@@ -1,0 +1,71 @@
+//! Figure 13: end-to-end Flex-Online run on the emulated 4.8 MW room —
+//! UPS/rack power through setup, normal operation, failover, and
+//! recovery.
+//!
+//! Paper: load stabilizes ~80%; a UPS failure at minute 12 spikes the
+//! survivors above 1.2 MW; the controller sheds (64% of
+//! software-redundant racks shut down, 51% of cap-able throttled) in ~2 s
+//! of enforcement; p95 latency of throttled racks +4.7% mean / +14%
+//! worst; restoration brings everything back.
+
+use flex_core::emulation::{run, EmulationConfig};
+use flex_core::sim::SimDuration;
+use flex_core::sim::SimTime;
+
+fn main() {
+    let config = EmulationConfig {
+        ilp_placement: !flex_bench::fast_mode(),
+        ..EmulationConfig::default()
+    };
+    let fail_at = SimTime::ZERO + config.fail_at;
+    let restore_at = SimTime::ZERO + config.restore_at;
+    println!("Figure 13 — end-to-end emulation (4.8 MW room, 360 racks, 80% utilization)\n");
+    let report = run(config);
+
+    // Stage-annotated UPS series, sampled every 30 s.
+    println!("per-UPS load fraction (columns: UPS0..UPS3; '-' = out of service):");
+    let end = report.stages.end;
+    let mut t = SimTime::ZERO;
+    while t <= end {
+        let mut row = format!("  t={:>5.0}s ", t.as_secs_f64());
+        for s in &report.ups_fraction {
+            match s.value_at(t) {
+                Some(v) if v > 0.02 => row.push_str(&format!(" {v:>5.2}")),
+                _ => row.push_str("     -"),
+            }
+        }
+        if t == fail_at {
+            row.push_str("   <- UPS0 fails (C)");
+        }
+        if t == restore_at {
+            row.push_str("   <- UPS0 restored (F)");
+        }
+        println!("{row}");
+        t = t + SimDuration::from_secs(30);
+    }
+
+    println!("\nkey metrics vs paper:");
+    println!(
+        "  software-redundant racks shut down: {:>5.1}%   (paper: 64%)",
+        report.sr_shutdown_fraction * 100.0
+    );
+    println!(
+        "  cap-able racks throttled:           {:>5.1}%   (paper: 51%)",
+        report.capable_throttled_fraction * 100.0
+    );
+    if let Some(d) = report.detection_latency {
+        println!("  failure -> first command:           {d}   (paper e2e: ~3.5 s p99.9, budget 10 s)");
+    }
+    if let Some(d) = report.enforcement_duration {
+        println!("  enforcement burst duration:         {d}   (paper: ~2 s)");
+    }
+    println!(
+        "  p95 latency inflation (throttled):  +{:.1}% mean, +{:.1}% worst (paper: +4.7% / +14%)",
+        report.mean_p95_inflation * 100.0,
+        report.worst_p95_inflation * 100.0
+    );
+    println!(
+        "  cascaded: {}   fully recovered: {}",
+        report.cascaded, report.fully_recovered
+    );
+}

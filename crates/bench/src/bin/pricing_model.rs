@@ -1,0 +1,28 @@
+//! §VI "financial incentives": the differentiated charge model that
+//! passes Flex's construction savings to workloads accepting corrective
+//! actions.
+
+use flex_core::analysis::pricing::ChargeModel;
+use flex_core::workload::WorkloadCategory;
+
+fn main() {
+    let model = ChargeModel::paper_like();
+    println!("Differentiated pricing (§VI) — base ${:.2}/W-month, 50% savings pass-through\n",
+        model.base_price_per_watt_month);
+    println!("{:<22} {:>12} {:>16}", "category", "multiplier", "$/W-month");
+    for category in WorkloadCategory::ALL {
+        println!(
+            "{:<22} {:>12.3} {:>15.3}",
+            category.label(),
+            model.price_multiplier(category),
+            model.price_per_watt_month(category)
+        );
+    }
+    let revenue = model.relative_revenue([0.13, 0.56, 0.31], 1.0 / 3.0);
+    println!(
+        "\nprovider revenue vs a conventional room (Microsoft mix, +33% capacity): {:+.1}%",
+        (revenue - 1.0) * 100.0
+    );
+    println!("discounted prices attract flexible workloads; the extra sellable capacity");
+    println!("more than covers the discounts — the incentive structure §VI describes.");
+}

@@ -1,0 +1,46 @@
+//! Section V-A, "Impact of deployment sizes": cap the largest deployment
+//! at 20/10/5 racks and re-run Flex-Offline-Short.
+//!
+//! Paper: capping at 10 racks roughly halves Flex-Offline-Short's median
+//! stranded power and throttling imbalance versus 20-rack deployments.
+
+use flex_bench::{median, paper_room_and_trace, study_ilp_config, trace_count};
+use flex_core::placement::metrics::{stranded_fraction, throttling_imbalance};
+use flex_core::placement::policies::{replay, FlexOffline, PlacementPolicy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (room, base) = paper_room_and_trace(2026);
+    let n = trace_count();
+    println!(
+        "Deployment-size sweep — Flex-Offline-Short over {n} shuffled traces\n\
+         (larger deployments are split into chunks of at most `max racks`)\n"
+    );
+    println!(
+        "{:<12} {:>22} {:>24}",
+        "max racks", "median stranded power", "median throttling imbal."
+    );
+    for max_racks in [20usize, 10, 5] {
+        let capped = base.split_max_racks(max_racks);
+        let mut stranded = Vec::new();
+        let mut imbalance = Vec::new();
+        for s in 0..n {
+            let mut rng = SmallRng::seed_from_u64(0xDE9 + s as u64);
+            let trace = capped.shuffled(&mut rng);
+            let placement = FlexOffline::short()
+                .with_config(study_ilp_config())
+                .place(&room, &trace, &mut rng);
+            let state = replay(&room, &trace, &placement);
+            stranded.push(stranded_fraction(&state));
+            imbalance.push(throttling_imbalance(&state));
+        }
+        println!(
+            "{:<12} {:>21.2}% {:>24.3}",
+            max_racks,
+            median(&stranded) * 100.0,
+            median(&imbalance)
+        );
+    }
+    println!("\npaper: max 10 racks ≈ half the stranded power and imbalance of max 20");
+}

@@ -1,0 +1,62 @@
+//! # Flex: high-availability datacenters with zero reserved power
+//!
+//! A from-scratch reproduction of *Flex* (Zhang et al., ISCA 2021):
+//! allocate **all** of a datacenter's redundant power to extra servers,
+//! and guarantee safety during power failovers with
+//!
+//! 1. **Flex-Offline** ([`placement`]) — an ILP-based workload placement
+//!    that minimizes stranded power while guaranteeing that, for *every*
+//!    possible UPS failure at 100% utilization, enough shave-able load
+//!    (software-redundant racks to shut down, cap-able racks to throttle)
+//!    sits under the survivors; and
+//! 2. **Flex-Online** ([`online`]) — a distributed runtime that detects
+//!    overdraw from redundant power telemetry ([`telemetry`]) and sheds
+//!    load within the UPS overload-tolerance window ([`power`]),
+//!    minimizing workload impact via per-workload impact functions
+//!    ([`workload`]).
+//!
+//! The facade re-exports every subsystem crate and offers
+//! [`FlexDatacenter`], a one-stop API for the common flow: build a room,
+//! place a demand trace, inspect the placement metrics, and war-game a
+//! failover.
+//!
+//! ```
+//! use flex_core::{FlexDatacenter, PolicyKind};
+//!
+//! let dc = FlexDatacenter::builder()
+//!     .policy(PolicyKind::BalancedRoundRobin)
+//!     .seed(7)
+//!     .build()?;
+//! // A Flex room allocates beyond the conventional failover budget…
+//! assert!(dc.stranded_fraction() < 0.25);
+//! // …and survives any single-UPS failure at full utilization.
+//! let drill = dc.decide_failover(flex_core::power::UpsId(0), 0.85)?;
+//! assert!(drill.outcome.safe);
+//! # Ok::<(), flex_core::FlexError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Feasibility analysis and cost model (paper Sections I & III).
+pub use flex_analysis as analysis;
+/// The Figure 13 end-to-end emulation.
+pub use flex_emulation as emulation;
+/// Mixed-integer programming (the Gurobi stand-in).
+pub use flex_milp as milp;
+/// Flex-Online: controllers, Algorithm 1, actuation, room simulation.
+pub use flex_online as online;
+/// Flex-Offline: rooms, policies, the placement ILP, metrics.
+pub use flex_placement as placement;
+/// The electrical substrate: topology, failover, trip curves.
+pub use flex_power as power;
+/// Discrete-event simulation kernel.
+pub use flex_sim as sim;
+/// The highly available telemetry pipeline.
+pub use flex_telemetry as telemetry;
+/// Workload models: categories, impact functions, traces.
+pub use flex_workload as workload;
+
+mod datacenter;
+
+pub use datacenter::{FailoverDrill, FlexDatacenter, FlexDatacenterBuilder, FlexError, PolicyKind};

@@ -1,0 +1,347 @@
+//! The Figure 13 experiment driver.
+
+use flex_online::sim::{DemandFn, RoomSim, RoomSimConfig, SimEvent};
+use flex_online::{ImpactRegistry, RackPowerState};
+use flex_placement::policies::{BalancedRoundRobin, FlexOffline, PlacementPolicy};
+use flex_placement::{PlacedRoom, RoomConfig};
+use flex_power::UpsId;
+use flex_sim::stats::{Percentiles, TimeSeries};
+use flex_sim::{SimDuration, SimTime};
+use flex_workload::impact::ImpactScenario;
+use flex_workload::trace::{TraceConfig, TraceGenerator};
+use flex_workload::WorkloadCategory;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::LatencyModel;
+
+/// Configuration of an end-to-end run.
+pub struct EmulationConfig {
+    /// Room build-out (defaults to the paper's 4.8 MW, 360-rack room).
+    pub room: RoomConfig,
+    /// Target aggregate utilization (paper: 0.8).
+    pub utilization: f64,
+    /// Flex power fraction for cap-able racks (paper: 0.85).
+    pub flex_fraction: f64,
+    /// Impact scenario (paper uses Figure 11(c), Realistic-1).
+    pub scenario: ImpactScenario,
+    /// When the UPS fails (paper: 12 minutes in).
+    pub fail_at: SimDuration,
+    /// When the UPS is restored.
+    pub restore_at: SimDuration,
+    /// Total run length.
+    pub duration: SimDuration,
+    /// Which UPS fails.
+    pub failed_ups: UpsId,
+    /// Latency model for the latency-sensitive racks.
+    pub latency: LatencyModel,
+    /// Use the Flex-Offline-Short ILP for placement (as in the paper);
+    /// false uses Balanced Round-Robin (much faster, for tests).
+    pub ilp_placement: bool,
+    /// Room simulation parameters.
+    pub sim: RoomSimConfig,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for EmulationConfig {
+    fn default() -> Self {
+        EmulationConfig {
+            room: RoomConfig::paper_emulation_room(),
+            utilization: 0.80,
+            flex_fraction: 0.85,
+            scenario: flex_workload::impact::scenarios::realistic_1(),
+            fail_at: SimDuration::from_secs(12 * 60),
+            restore_at: SimDuration::from_secs(19 * 60),
+            duration: SimDuration::from_secs(25 * 60),
+            failed_ups: UpsId(0),
+            latency: LatencyModel::default(),
+            ilp_placement: false,
+            sim: RoomSimConfig::default(),
+            seed: 0x13EE,
+        }
+    }
+}
+
+/// Stage boundaries of the run (Figure 13's A–G annotations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTimes {
+    /// Setup ends / normal operation begins.
+    pub normal_from: SimTime,
+    /// Scripted failover instant.
+    pub failover_at: SimTime,
+    /// Scripted restoration instant.
+    pub restore_at: SimTime,
+    /// End of the run.
+    pub end: SimTime,
+}
+
+/// Results of an end-to-end run.
+pub struct EmulationReport {
+    /// Stage boundaries.
+    pub stages: StageTimes,
+    /// Per-UPS load fraction over time.
+    pub ups_fraction: Vec<TimeSeries>,
+    /// Total rack power over time (watts).
+    pub total_power: TimeSeries,
+    /// Fraction of software-redundant racks shut down during the
+    /// failover steady state (paper: 64%).
+    pub sr_shutdown_fraction: f64,
+    /// Fraction of cap-able racks throttled (paper: 51%).
+    pub capable_throttled_fraction: f64,
+    /// Failure → first corrective command.
+    pub detection_latency: Option<SimDuration>,
+    /// First → last corrective enforcement of the burst (paper: ~2 s).
+    pub enforcement_duration: Option<SimDuration>,
+    /// Mean p95 inflation across throttled cap-able racks during the
+    /// failover (paper: +4.7%).
+    pub mean_p95_inflation: f64,
+    /// Worst single-rack p95 inflation (paper: +14%).
+    pub worst_p95_inflation: f64,
+    /// True if any UPS tripped from overload (must be false).
+    pub cascaded: bool,
+    /// True if every rack returned to normal by the end of the run.
+    pub fully_recovered: bool,
+    /// Event log from the room simulation.
+    pub events: Vec<(SimTime, SimEvent)>,
+}
+
+/// Places the paper's emulation workload and runs the failover script.
+pub fn run(config: EmulationConfig) -> EmulationReport {
+    let room = config.room.build().expect("emulation room builds");
+    let provisioned = room.provisioned_power();
+    // The paper's emulation scales one server to one rack so that the
+    // fully occupied room is fully allocated: rack power = room power /
+    // rack slots (13.3 kW for the 4.8 MW, 360-slot room).
+    let rack_power = provisioned / room.total_slots() as f64;
+    let trace_config = TraceConfig {
+        flex_fraction_range: (config.flex_fraction, config.flex_fraction + 1e-6),
+        rack_powers: vec![(rack_power, 1.0)],
+        ..TraceConfig::microsoft(provisioned)
+    };
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let trace = TraceGenerator::new(trace_config).generate(&mut rng);
+    let placement = if config.ilp_placement {
+        FlexOffline::short().place(&room, &trace, &mut rng)
+    } else {
+        BalancedRoundRobin.place(&room, &trace, &mut rng)
+    };
+    let placed = PlacedRoom::materialize(&room, &trace, &placement);
+    let registry = ImpactRegistry::from_scenario(
+        placed.racks().iter().map(|r| (r.deployment, r.category)),
+        &config.scenario,
+    );
+
+    // Demand: every rack draws around the target utilization — expressed
+    // against *provisioned room power*, so scale per-rack demand up by
+    // the small stranding factor the placement left. The batch
+    // (software-redundant) racks are steadier, the latency-sensitive
+    // racks wander more.
+    let allocated = placed.total_provisioned();
+    let util_scale = (provisioned / allocated).min(1.2);
+    let util = (config.utilization * util_scale).min(0.93);
+    // The paper's synthetic benchmarks: TeraSort-like phases for the
+    // software-redundant racks, TPC-E-like wandering load for the rest.
+    let demand: DemandFn = crate::workloads::paper_demand_fn(
+        util,
+        crate::workloads::BatchJobModel::default(),
+        crate::workloads::OltpModel::default(),
+    );
+
+    let mut sim = RoomSim::new(&placed, registry, demand, config.sim);
+    let fail_t = SimTime::ZERO + config.fail_at;
+    let restore_t = SimTime::ZERO + config.restore_at;
+    let end_t = SimTime::ZERO + config.duration;
+    sim.fail_ups_at(fail_t, config.failed_ups);
+    sim.restore_ups_at(restore_t, config.failed_ups);
+
+    // Drive in one-second steps, sampling latency for cap-able racks.
+    let mut p95_inflations = Percentiles::new();
+    let mut worst_inflation: f64 = 0.0;
+    let mut sr_shut_frac = 0.0_f64;
+    let mut cap_thr_frac = 0.0_f64;
+    let mut t = SimTime::ZERO;
+    let step = SimDuration::from_secs(1);
+    while t < end_t {
+        t += step;
+        sim.run_until(t);
+        let world = sim.world();
+        let states = world.rack_states();
+        let demand_now = world.demand();
+        // During the failover window, track action fractions and
+        // latency inflation.
+        if t > fail_t && t <= restore_t {
+            let racks = placed.racks();
+            let sr_total = racks
+                .iter()
+                .filter(|r| r.category == WorkloadCategory::SoftwareRedundant)
+                .count()
+                .max(1);
+            let cap_total = racks
+                .iter()
+                .filter(|r| r.category == WorkloadCategory::CapAble)
+                .count()
+                .max(1);
+            let shut = racks
+                .iter()
+                .filter(|r| {
+                    r.category == WorkloadCategory::SoftwareRedundant
+                        && states[r.id.0] == RackPowerState::Off
+                })
+                .count();
+            let thr = racks
+                .iter()
+                .filter(|r| {
+                    r.category == WorkloadCategory::CapAble
+                        && states[r.id.0] == RackPowerState::Throttled
+                })
+                .count();
+            sr_shut_frac = sr_shut_frac.max(shut as f64 / sr_total as f64);
+            cap_thr_frac = cap_thr_frac.max(thr as f64 / cap_total as f64);
+            for r in racks {
+                if r.category != WorkloadCategory::CapAble {
+                    continue;
+                }
+                let demand_fraction = (demand_now[r.id.0] / r.provisioned).clamp(0.0, 1.0);
+                let cap_fraction = match states[r.id.0] {
+                    RackPowerState::Throttled => config.flex_fraction,
+                    _ => 1.0,
+                };
+                let inflation = config.latency.inflation(demand_fraction, cap_fraction);
+                if states[r.id.0] == RackPowerState::Throttled {
+                    p95_inflations.record(inflation);
+                    worst_inflation = worst_inflation.max(inflation);
+                }
+            }
+        }
+    }
+
+    let world = sim.world();
+    // Enforcement burst: the initial cluster of corrective Applied
+    // events after the failure. Later one-off actions (demand wander
+    // re-crossing the limit — the paper's "additional actions may be
+    // needed") are not part of the burst, so the cluster ends at the
+    // first gap longer than 5 s.
+    let mut burst: Vec<SimTime> = world
+        .stats
+        .events
+        .iter()
+        .filter(|(at, e)| {
+            *at >= fail_t
+                && matches!(
+                    e,
+                    SimEvent::Applied {
+                        state: RackPowerState::Off | RackPowerState::Throttled,
+                        ..
+                    }
+                )
+        })
+        .map(|(at, _)| *at)
+        .collect();
+    burst.sort_unstable();
+    let enforcement_duration = burst.first().map(|&first| {
+        let mut last = first;
+        for &t in &burst[1..] {
+            if t.saturating_since(last) > SimDuration::from_secs(5) {
+                break;
+            }
+            last = t;
+        }
+        last - first
+    });
+
+    EmulationReport {
+        stages: StageTimes {
+            normal_from: SimTime::ZERO + SimDuration::from_secs(60),
+            failover_at: fail_t,
+            restore_at: restore_t,
+            end: end_t,
+        },
+        ups_fraction: world.stats.ups_fraction.clone(),
+        total_power: world.stats.total_power.clone(),
+        sr_shutdown_fraction: sr_shut_frac,
+        capable_throttled_fraction: cap_thr_frac,
+        detection_latency: world.stats.detection_latency.first().copied(),
+        enforcement_duration,
+        mean_p95_inflation: p95_inflations.mean().unwrap_or(0.0),
+        worst_p95_inflation: worst_inflation,
+        cascaded: world.stats.cascaded(),
+        fully_recovered: world
+            .rack_states()
+            .iter()
+            .all(|s| *s == RackPowerState::Normal),
+        events: world.stats.events.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> EmulationConfig {
+        EmulationConfig {
+            fail_at: SimDuration::from_secs(60),
+            restore_at: SimDuration::from_secs(240),
+            duration: SimDuration::from_secs(600),
+            ..EmulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_run_matches_paper_shape() {
+        let report = run(quick_config());
+        assert!(!report.cascaded, "no cascade allowed");
+        // Failover engaged both action types.
+        assert!(
+            report.sr_shutdown_fraction > 0.2,
+            "SR shutdowns {:.2}",
+            report.sr_shutdown_fraction
+        );
+        assert!(
+            report.capable_throttled_fraction > 0.02,
+            "throttles {:.2}",
+            report.capable_throttled_fraction
+        );
+        // Detection within the 10 s budget.
+        let detect = report.detection_latency.expect("failure detected");
+        assert!(detect <= SimDuration::from_secs(10), "detection {detect}");
+        // Latency inflation small on average, bounded worst case.
+        assert!(
+            report.mean_p95_inflation < 0.25,
+            "mean inflation {:.3}",
+            report.mean_p95_inflation
+        );
+        assert!(
+            report.worst_p95_inflation < 0.5,
+            "worst inflation {:.3}",
+            report.worst_p95_inflation
+        );
+        // Everything restored by the end.
+        assert!(report.fully_recovered, "racks restored");
+        // Power series recorded for all four UPSes.
+        assert_eq!(report.ups_fraction.len(), 4);
+        assert!(!report.total_power.is_empty());
+    }
+
+    #[test]
+    fn ups_load_spikes_at_failover_then_recovers() {
+        let config = quick_config();
+        let fail_at = SimTime::ZERO + config.fail_at;
+        let report = run(config);
+        // A surviving UPS: just before failover ~0.8, just after > 1.0,
+        // after shedding ≤ 1.0.
+        let survivor = &report.ups_fraction[1];
+        let before = survivor
+            .value_at(fail_at - SimDuration::from_secs(5))
+            .unwrap();
+        assert!((0.70..0.92).contains(&before), "before {before}");
+        let spike = survivor
+            .max_over(fail_at, fail_at + SimDuration::from_secs(8))
+            .unwrap();
+        assert!(spike > 1.0, "expected overdraw spike, got {spike}");
+        let settled = survivor
+            .value_at(fail_at + SimDuration::from_secs(30))
+            .unwrap();
+        assert!(settled <= 1.0 + 1e-9, "settled {settled}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for model building and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or solving a MILP model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MilpError {
+    /// A variable id referenced a different (or newer) model.
+    UnknownVariable(usize),
+    /// A coefficient, bound, or right-hand side was NaN or infinite where
+    /// finiteness is required.
+    NonFiniteValue(String),
+    /// Variable bounds were inverted (`lower > upper`).
+    InvertedBounds {
+        /// The offending lower bound.
+        lower: f64,
+        /// The offending upper bound.
+        upper: f64,
+    },
+    /// The model is infeasible.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// The solver hit its time limit before finding any feasible integer
+    /// solution.
+    TimeLimitNoSolution,
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::UnknownVariable(i) => write!(f, "variable id {i} is not in this model"),
+            MilpError::NonFiniteValue(what) => write!(f, "non-finite value in {what}"),
+            MilpError::InvertedBounds { lower, upper } => {
+                write!(f, "inverted variable bounds: [{lower}, {upper}]")
+            }
+            MilpError::Infeasible => write!(f, "model is infeasible"),
+            MilpError::Unbounded => write!(f, "LP relaxation is unbounded"),
+            MilpError::TimeLimitNoSolution => {
+                write!(f, "time limit reached before any feasible integer solution")
+            }
+            MilpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for MilpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(MilpError::Infeasible.to_string().contains("infeasible"));
+        assert!(MilpError::UnknownVariable(3).to_string().contains('3'));
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<MilpError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! Mixed-integer linear programming, from scratch.
+//!
+//! The paper solves the Flex-Offline placement ILP (Section IV-B) with
+//! Gurobi. This crate is the reproduction's stand-in: a self-contained
+//! MILP solver sized for that problem class (a few hundred binaries, a few
+//! hundred rows) —
+//!
+//! - [`Model`] — a mutable model builder: variables (continuous or
+//!   integer/binary, with bounds), linear constraints, and a linear
+//!   objective;
+//! - [`simplex`] — a dense two-phase primal simplex over the LP
+//!   relaxation;
+//! - branch-and-bound ([`Model::solve`]) — best-first on the LP bound with
+//!   most-fractional branching, a rounding incumbent heuristic, a
+//!   relative-gap stop, and a wall-clock time limit (mirroring the paper's
+//!   5-minute Gurobi cap).
+//!
+//! # Example: a tiny knapsack
+//!
+//! ```
+//! use flex_milp::{Model, Sense, Relation, SolveConfig};
+//!
+//! let mut m = Model::new(Sense::Maximize);
+//! let items = [(60.0, 10.0), (100.0, 20.0), (120.0, 30.0)];
+//! let vars: Vec<_> = items
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, (value, _))| m.add_binary(format!("item{i}"), *value))
+//!     .collect();
+//! let weights: Vec<_> = vars.iter().zip(&items).map(|(&v, (_, w))| (v, *w)).collect();
+//! m.add_constraint("capacity", weights, Relation::Le, 50.0)?;
+//! let sol = m.solve(&SolveConfig::default())?;
+//! assert_eq!(sol.objective.round(), 220.0); // items 1 and 2
+//! # Ok::<(), flex_milp::MilpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+pub mod simplex;
+mod solver;
+
+pub use error::MilpError;
+pub use model::{ConstraintId, Model, Relation, Sense, VarId, VarKind};
+pub use solver::{MilpSolution, SolveConfig, SolveStatus};

@@ -1,0 +1,680 @@
+//! Dense two-phase primal simplex with bounded variables.
+//!
+//! Solves `minimize cᵀx  s.t.  Ax = b,  l ≤ x ≤ u` where every structural
+//! variable has finite bounds (slack variables may be unbounded above).
+//! Inequality constraints are converted to equalities with slack columns by
+//! [`LpProblem::from_model`]; phase 1 starts from an all-artificial basis.
+//!
+//! Nonbasic variables rest at one of their bounds (the *bounded-variable*
+//! rule), so variable upper bounds cost nothing extra in tableau size —
+//! important because the placement ILP has hundreds of binaries.
+
+use crate::model::{Model, Relation, Sense, VarKind};
+use crate::MilpError;
+
+/// Pricing tolerance: reduced costs within this of zero are "optimal".
+const PRICE_EPS: f64 = 1e-9;
+/// Pivot-element tolerance.
+const PIVOT_EPS: f64 = 1e-9;
+/// Feasibility tolerance for phase-1 success and ratio tests.
+const FEAS_EPS: f64 = 1e-7;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const DEGENERACY_GUARD: u32 = 64;
+
+/// Termination status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Proven optimal.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below (for the internal minimize form).
+    Unbounded,
+    /// Iteration limit hit (numerical trouble); treat as a failed solve.
+    IterationLimit,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Termination status; `objective`/`values` are meaningful only for
+    /// [`LpStatus::Optimal`].
+    pub status: LpStatus,
+    /// Optimal objective of the *minimize* form.
+    pub objective: f64,
+    /// Values for all columns (structural first, then slacks).
+    pub values: Vec<f64>,
+}
+
+/// Where a model variable landed in the LP: a live column, or eliminated
+/// as a constant because its effective bounds pin it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColRef {
+    /// The variable is LP column `i`.
+    Col(usize),
+    /// The variable is fixed at this value (folded into RHS/objective).
+    Fixed(f64),
+}
+
+/// A standard-form LP: minimize over equality rows with bounded columns.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Per-column objective coefficients (minimize).
+    pub costs: Vec<f64>,
+    /// Per-column lower bounds (finite).
+    pub lower: Vec<f64>,
+    /// Per-column upper bounds (`f64::INFINITY` allowed).
+    pub upper: Vec<f64>,
+    /// Sparse equality rows over the columns.
+    pub rows: Vec<Vec<(usize, f64)>>,
+    /// Right-hand sides.
+    pub rhs: Vec<f64>,
+    /// Number of structural (model) columns at the front.
+    pub structural: usize,
+    /// Mapping from model variables to LP columns. Fixed variables are
+    /// eliminated — this keeps branch-and-bound node LPs small as more
+    /// binaries get pinned.
+    pub var_map: Vec<ColRef>,
+    /// Constant added to the objective (from eliminated variables).
+    pub objective_offset: f64,
+}
+
+impl LpProblem {
+    /// Builds the LP relaxation of a model, with per-variable bound
+    /// overrides (used by branch-and-bound; pass the model's own bounds
+    /// for the root relaxation). Maximize models are negated into
+    /// minimize form; callers flip the objective sign back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.len()` differs from the model's variable count
+    /// or any override is inverted/non-finite.
+    pub fn from_model(model: &Model, bounds: &[(f64, f64)]) -> LpProblem {
+        assert_eq!(bounds.len(), model.var_count(), "bounds length mismatch");
+        let sign = match model.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        // Map variables to live columns, eliminating fixed ones.
+        let mut var_map = Vec::with_capacity(model.var_count());
+        let mut costs: Vec<f64> = Vec::new();
+        let mut lower: Vec<f64> = Vec::new();
+        let mut upper: Vec<f64> = Vec::new();
+        let mut objective_offset = 0.0;
+        for (v, &(lo, hi)) in model.vars.iter().zip(bounds) {
+            assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad bounds");
+            // Intersect model bounds with overrides defensively.
+            let l = lo.max(v.lower);
+            let u = hi.min(v.upper);
+            debug_assert!(l <= u + 1e-9, "override disjoint from model bounds");
+            if u - l < 1e-12 {
+                var_map.push(ColRef::Fixed(l));
+                objective_offset += sign * v.objective * l;
+            } else {
+                var_map.push(ColRef::Col(costs.len()));
+                costs.push(sign * v.objective);
+                lower.push(l);
+                upper.push(u);
+            }
+        }
+        let structural = costs.len();
+        let mut rows = Vec::with_capacity(model.constraints.len());
+        let mut rhs = Vec::with_capacity(model.constraints.len());
+        for c in &model.constraints {
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(c.terms.len() + 1);
+            let mut b = c.rhs;
+            for &(i, a) in &c.terms {
+                match var_map[i] {
+                    ColRef::Col(col) => row.push((col, a)),
+                    ColRef::Fixed(v) => b -= a * v,
+                }
+            }
+            match c.relation {
+                Relation::Le => {
+                    let slack = costs.len();
+                    costs.push(0.0);
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                    row.push((slack, 1.0));
+                }
+                Relation::Ge => {
+                    let surplus = costs.len();
+                    costs.push(0.0);
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                    row.push((surplus, -1.0));
+                }
+                Relation::Eq => {}
+            }
+            rows.push(row);
+            rhs.push(b);
+        }
+        LpProblem {
+            costs,
+            lower,
+            upper,
+            rows,
+            rhs,
+            structural,
+            var_map,
+            objective_offset,
+        }
+    }
+
+    /// Number of columns (structural + slack).
+    pub fn col_count(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColStatus {
+    Basic,
+    AtLower,
+    AtUpper,
+}
+
+struct Tableau {
+    /// m × ncols dense matrix, current B⁻¹A.
+    tab: Vec<Vec<f64>>,
+    /// Basic-variable values per row.
+    xb: Vec<f64>,
+    /// Column in the basis for each row.
+    basis: Vec<usize>,
+    status: Vec<ColStatus>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    m: usize,
+    ncols: usize,
+}
+
+impl Tableau {
+    /// Current value of every column.
+    fn values(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .status
+            .iter()
+            .enumerate()
+            .map(|(j, s)| match s {
+                ColStatus::Basic => 0.0,
+                ColStatus::AtLower => self.lower[j],
+                ColStatus::AtUpper => self.upper[j],
+            })
+            .collect();
+        for (i, &b) in self.basis.iter().enumerate() {
+            v[b] = self.xb[i];
+        }
+        v
+    }
+
+    /// Runs the primal simplex for the given cost vector. Returns
+    /// `Ok(objective)` at optimality.
+    fn optimize(&mut self, costs: &[f64], max_iters: u64) -> Result<f64, LpStatus> {
+        let mut degenerate_streak: u32 = 0;
+        for _ in 0..max_iters {
+            // Basic costs, then reduced costs d_j = c_j − c_Bᵀ·tab[:,j].
+            let cb: Vec<f64> = self.basis.iter().map(|&b| costs[b]).collect();
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, sigma)
+            let use_bland = degenerate_streak >= DEGENERACY_GUARD;
+            for j in 0..self.ncols {
+                if self.status[j] == ColStatus::Basic {
+                    continue;
+                }
+                if self.upper[j] - self.lower[j] < PIVOT_EPS {
+                    continue; // fixed column can never improve
+                }
+                let mut d = costs[j];
+                for i in 0..self.m {
+                    if cb[i] != 0.0 {
+                        d -= cb[i] * self.tab[i][j];
+                    }
+                }
+                let sigma = match self.status[j] {
+                    ColStatus::AtLower if d < -PRICE_EPS => 1.0,
+                    ColStatus::AtUpper if d > PRICE_EPS => -1.0,
+                    _ => continue,
+                };
+                if use_bland {
+                    entering = Some((j, d.abs(), sigma));
+                    break;
+                }
+                match entering {
+                    Some((_, best, _)) if d.abs() <= best => {}
+                    _ => entering = Some((j, d.abs(), sigma)),
+                }
+            }
+            let Some((j, _, sigma)) = entering else {
+                // Optimal: compute objective.
+                let obj = self
+                    .values()
+                    .iter()
+                    .zip(costs)
+                    .map(|(x, c)| x * c)
+                    .sum::<f64>();
+                return Ok(obj);
+            };
+
+            // Ratio test: how far can x_j move (by t ≥ 0 in direction sigma)?
+            let own_limit = self.upper[j] - self.lower[j]; // bound flip distance
+            let mut t_max = own_limit;
+            let mut leaving: Option<(usize, ColStatus)> = None; // (row, bound hit)
+            for i in 0..self.m {
+                let a = sigma * self.tab[i][j];
+                if a > PIVOT_EPS {
+                    // Basic value decreases toward its lower bound.
+                    let room = self.xb[i] - self.lower[self.basis[i]];
+                    let t = room.max(0.0) / a;
+                    if t < t_max {
+                        t_max = t;
+                        leaving = Some((i, ColStatus::AtLower));
+                    }
+                } else if a < -PIVOT_EPS {
+                    // Basic value increases toward its upper bound.
+                    let ub = self.upper[self.basis[i]];
+                    if ub.is_finite() {
+                        let room = ub - self.xb[i];
+                        let t = room.max(0.0) / (-a);
+                        if t < t_max {
+                            t_max = t;
+                            leaving = Some((i, ColStatus::AtUpper));
+                        }
+                    }
+                }
+            }
+            if t_max.is_infinite() {
+                return Err(LpStatus::Unbounded);
+            }
+            if t_max <= FEAS_EPS {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+
+            // Apply the move to basic values.
+            for i in 0..self.m {
+                self.xb[i] -= sigma * t_max * self.tab[i][j];
+            }
+            match leaving {
+                None => {
+                    // Bound flip: j moves to its opposite bound.
+                    self.status[j] = match self.status[j] {
+                        ColStatus::AtLower => ColStatus::AtUpper,
+                        ColStatus::AtUpper => ColStatus::AtLower,
+                        ColStatus::Basic => unreachable!("entering var was nonbasic"),
+                    };
+                }
+                Some((row, bound_hit)) => {
+                    let start = match self.status[j] {
+                        ColStatus::AtLower => self.lower[j],
+                        ColStatus::AtUpper => self.upper[j],
+                        ColStatus::Basic => unreachable!("entering var was nonbasic"),
+                    };
+                    let new_value = start + sigma * t_max;
+                    let leaving_col = self.basis[row];
+                    self.status[leaving_col] = bound_hit;
+                    // Snap the leaving variable exactly onto its bound.
+                    self.basis[row] = j;
+                    self.status[j] = ColStatus::Basic;
+                    self.xb[row] = new_value;
+                    self.pivot(row, j);
+                }
+            }
+        }
+        Err(LpStatus::IterationLimit)
+    }
+
+    /// Gauss–Jordan pivot on (row, col).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.tab[row][col];
+        debug_assert!(p.abs() > PIVOT_EPS, "pivot on ~zero element");
+        let inv = 1.0 / p;
+        for v in &mut self.tab[row] {
+            *v *= inv;
+        }
+        let pivot_row = self.tab[row].clone();
+        for (i, r) in self.tab.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let f = r[col];
+            if f != 0.0 {
+                for (v, pv) in r.iter_mut().zip(&pivot_row) {
+                    *v -= f * pv;
+                }
+                r[col] = 0.0; // kill residual rounding
+            }
+        }
+    }
+}
+
+/// Solves a standard-form LP (minimize). Returns column values for the
+/// problem's columns (structural + slack), artificials excluded.
+pub fn solve(problem: &LpProblem) -> LpSolution {
+    let m = problem.row_count();
+    let n = problem.col_count();
+    let ncols = n + m; // + artificials
+    let max_iters = 200 * (m as u64 + ncols as u64) + 20_000;
+
+    // Nonbasic start: every column at the bound of smaller magnitude
+    // (lower, unless upper is finite and |upper| < |lower|).
+    let mut status = vec![ColStatus::AtLower; ncols];
+    for j in 0..n {
+        if problem.upper[j].is_finite() && problem.upper[j].abs() < problem.lower[j].abs() {
+            status[j] = ColStatus::AtUpper;
+        }
+    }
+    let start_value = |j: usize| -> f64 {
+        match status[j] {
+            ColStatus::AtLower => problem.lower[j],
+            ColStatus::AtUpper => problem.upper[j],
+            ColStatus::Basic => 0.0,
+        }
+    };
+
+    // Dense rows and residuals r = b − A·x_start.
+    let mut dense = vec![vec![0.0_f64; ncols]; m];
+    let mut resid = problem.rhs.clone();
+    for (i, row) in problem.rows.iter().enumerate() {
+        for &(j, a) in row {
+            dense[i][j] = a;
+            resid[i] -= a * start_value(j);
+        }
+    }
+    // Rows with a negative residual are negated (multiplying an equality
+    // by −1 is harmless) so every artificial can enter with coefficient
+    // +1 and the initial basis is exactly the identity.
+    let mut lower = problem.lower.clone();
+    let mut upper = problem.upper.clone();
+    let mut basis = Vec::with_capacity(m);
+    let mut xb = Vec::with_capacity(m);
+    for i in 0..m {
+        if resid[i] < 0.0 {
+            for v in &mut dense[i] {
+                *v = -*v;
+            }
+            resid[i] = -resid[i];
+        }
+        let col = n + i;
+        dense[i][col] = 1.0;
+        lower.push(0.0);
+        upper.push(f64::INFINITY);
+        status[col] = ColStatus::Basic;
+        basis.push(col);
+        xb.push(resid[i]);
+    }
+
+    let mut tableau = Tableau {
+        tab: dense,
+        xb,
+        basis,
+        status,
+        lower,
+        upper,
+        m,
+        ncols,
+    };
+
+    // Phase 1: minimize the sum of artificials.
+    let mut phase1_costs = vec![0.0; ncols];
+    for c in phase1_costs.iter_mut().skip(n) {
+        *c = 1.0;
+    }
+    match tableau.optimize(&phase1_costs, max_iters) {
+        Ok(w) => {
+            if w > FEAS_EPS * (1.0 + problem.rhs.iter().map(|r| r.abs()).sum::<f64>()) {
+                return LpSolution {
+                    status: LpStatus::Infeasible,
+                    objective: 0.0,
+                    values: Vec::new(),
+                };
+            }
+        }
+        Err(LpStatus::Unbounded) => unreachable!("phase 1 objective is bounded below"),
+        Err(s) => {
+            return LpSolution {
+                status: s,
+                objective: 0.0,
+                values: Vec::new(),
+            }
+        }
+    }
+    // Fix artificials at zero for phase 2 (basic-at-zero artificials may
+    // remain; being fixed, they can never carry value again).
+    for j in n..ncols {
+        tableau.lower[j] = 0.0;
+        tableau.upper[j] = 0.0;
+        if tableau.status[j] != ColStatus::Basic {
+            tableau.status[j] = ColStatus::AtLower;
+        }
+    }
+
+    // Phase 2: the real objective.
+    let mut phase2_costs = vec![0.0; ncols];
+    phase2_costs[..n].copy_from_slice(&problem.costs);
+    match tableau.optimize(&phase2_costs, max_iters) {
+        Ok(obj) => {
+            let mut values = tableau.values();
+            values.truncate(n);
+            LpSolution {
+                status: LpStatus::Optimal,
+                objective: obj + problem.objective_offset,
+                values,
+            }
+        }
+        Err(s) => LpSolution {
+            status: s,
+            objective: 0.0,
+            values: Vec::new(),
+        },
+    }
+}
+
+/// Convenience: solve the LP relaxation of a model under bound overrides,
+/// returning structural-variable values and the objective in the model's
+/// own sense.
+///
+/// # Errors
+///
+/// Maps non-optimal statuses onto [`MilpError`].
+pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)]) -> Result<(f64, Vec<f64>), MilpError> {
+    let problem = LpProblem::from_model(model, bounds);
+    let sol = solve(&problem);
+    match sol.status {
+        LpStatus::Optimal => {
+            let sign = match model.sense() {
+                Sense::Minimize => 1.0,
+                Sense::Maximize => -1.0,
+            };
+            // Reassemble model-space values from live columns and
+            // eliminated constants.
+            let mut values: Vec<f64> = problem
+                .var_map
+                .iter()
+                .map(|r| match *r {
+                    ColRef::Col(i) => sol.values[i],
+                    ColRef::Fixed(v) => v,
+                })
+                .collect();
+            // Snap integers that are within tolerance of a bound.
+            for (v, x) in model.vars.iter().zip(values.iter_mut()) {
+                if v.kind == VarKind::Integer {
+                    let r = x.round();
+                    if (*x - r).abs() < 1e-7 {
+                        *x = r;
+                    }
+                }
+            }
+            Ok((sign * sol.objective, values))
+        }
+        LpStatus::Infeasible => Err(MilpError::Infeasible),
+        LpStatus::Unbounded => Err(MilpError::Unbounded),
+        LpStatus::IterationLimit => Err(MilpError::IterationLimit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation, Sense};
+
+    fn model_bounds(m: &Model) -> Vec<(f64, f64)> {
+        m.vars.iter().map(|v| (v.lower, v.upper)).collect()
+    }
+
+    #[test]
+    fn basic_two_var_lp() {
+        // maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6, 0 <= x,y <= 10.
+        // Optimum at (4, 0): objective 12.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 10.0, 3.0).unwrap();
+        let y = m.add_continuous("y", 0.0, 10.0, 2.0).unwrap();
+        m.add_constraint("c1", vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0)
+            .unwrap();
+        m.add_constraint("c2", vec![(x, 1.0), (y, 3.0)], Relation::Le, 6.0)
+            .unwrap();
+        let (obj, vals) = solve_relaxation(&m, &model_bounds(&m)).unwrap();
+        assert!((obj - 12.0).abs() < 1e-6, "objective {obj}");
+        assert!((vals[0] - 4.0).abs() < 1e-6);
+        assert!(vals[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn interior_optimum_lp() {
+        // maximize x + y s.t. 2x + y <= 10, x + 3y <= 15 -> (3, 4), obj 7.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 100.0, 1.0).unwrap();
+        let y = m.add_continuous("y", 0.0, 100.0, 1.0).unwrap();
+        m.add_constraint("c1", vec![(x, 2.0), (y, 1.0)], Relation::Le, 10.0)
+            .unwrap();
+        m.add_constraint("c2", vec![(x, 1.0), (y, 3.0)], Relation::Le, 15.0)
+            .unwrap();
+        let (obj, vals) = solve_relaxation(&m, &model_bounds(&m)).unwrap();
+        assert!((obj - 7.0).abs() < 1e-6);
+        assert!((vals[0] - 3.0).abs() < 1e-6);
+        assert!((vals[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints() {
+        // minimize 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 -> (7, 3): 23.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 2.0, 100.0, 2.0).unwrap();
+        let y = m.add_continuous("y", 3.0, 100.0, 3.0).unwrap();
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Relation::Ge, 10.0)
+            .unwrap();
+        let (obj, vals) = solve_relaxation(&m, &model_bounds(&m)).unwrap();
+        assert!((obj - 23.0).abs() < 1e-6, "objective {obj}");
+        assert!((vals[0] - 7.0).abs() < 1e-6);
+        assert!((vals[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // minimize x + y s.t. x + 2y = 8, x - y = 2 -> (4, 2): 6.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", -100.0, 100.0, 1.0).unwrap();
+        let y = m.add_continuous("y", -100.0, 100.0, 1.0).unwrap();
+        m.add_constraint("c1", vec![(x, 1.0), (y, 2.0)], Relation::Eq, 8.0)
+            .unwrap();
+        m.add_constraint("c2", vec![(x, 1.0), (y, -1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        let (obj, vals) = solve_relaxation(&m, &model_bounds(&m)).unwrap();
+        assert!((obj - 6.0).abs() < 1e-6);
+        assert!((vals[0] - 4.0).abs() < 1e-6);
+        assert!((vals[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 1.0, 1.0).unwrap();
+        m.add_constraint("c", vec![(x, 1.0)], Relation::Ge, 5.0)
+            .unwrap();
+        assert_eq!(
+            solve_relaxation(&m, &model_bounds(&m)),
+            Err(MilpError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn variable_bounds_bind_without_constraints() {
+        let mut m = Model::new(Sense::Maximize);
+        let _ = m.add_continuous("x", -1.5, 2.5, 1.0).unwrap();
+        let (obj, vals) = solve_relaxation(&m, &[(-1.5, 2.5)]).unwrap();
+        assert!((obj - 2.5).abs() < 1e-9);
+        assert!((vals[0] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // minimize x with x in [-5, 5], x + y >= -3, y in [0, 1].
+        // x can go to -3 - y; with y = 1, x = -4.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", -5.0, 5.0, 1.0).unwrap();
+        let y = m.add_continuous("y", 0.0, 1.0, 0.0).unwrap();
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Relation::Ge, -3.0)
+            .unwrap();
+        let (obj, _) = solve_relaxation(&m, &model_bounds(&m)).unwrap();
+        assert!((obj - (-4.0)).abs() < 1e-6, "objective {obj}");
+    }
+
+    #[test]
+    fn bound_overrides_tighten() {
+        let mut m = Model::new(Sense::Maximize);
+        let _ = m.add_continuous("x", 0.0, 10.0, 1.0).unwrap();
+        let (obj, _) = solve_relaxation(&m, &[(0.0, 4.0)]).unwrap();
+        assert!((obj - 4.0).abs() < 1e-9);
+        // Fixing via overrides.
+        let (obj, vals) = solve_relaxation(&m, &[(2.0, 2.0)]).unwrap();
+        assert!((obj - 2.0).abs() < 1e-9);
+        assert!((vals[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Many redundant constraints through the same vertex.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 10.0, 1.0).unwrap();
+        let y = m.add_continuous("y", 0.0, 10.0, 1.0).unwrap();
+        for k in 1..=10 {
+            m.add_constraint(
+                format!("c{k}"),
+                vec![(x, k as f64), (y, k as f64)],
+                Relation::Le,
+                4.0 * k as f64,
+            )
+            .unwrap();
+        }
+        let (obj, _) = solve_relaxation(&m, &model_bounds(&m)).unwrap();
+        assert!((obj - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_relaxation_of_knapsack() {
+        // Binary knapsack relaxation: values 6, 10, 12; weights 1, 2, 3;
+        // cap 4 -> LP takes items 2 and 3rd fractionally.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a", 6.0);
+        let b = m.add_binary("b", 10.0);
+        let c = m.add_binary("c", 12.0);
+        m.add_constraint("cap", vec![(a, 1.0), (b, 2.0), (c, 3.0)], Relation::Le, 4.0)
+            .unwrap();
+        let (obj, vals) = solve_relaxation(&m, &model_bounds(&m)).unwrap();
+        // LP optimum: a=1, b=1, c=1/3 -> 6 + 10 + 4 = 20.
+        assert!((obj - 20.0).abs() < 1e-6, "objective {obj}");
+        assert!((vals[2] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_model_solves() {
+        let m = Model::new(Sense::Maximize);
+        let (obj, vals) = solve_relaxation(&m, &[]).unwrap();
+        assert_eq!(obj, 0.0);
+        assert!(vals.is_empty());
+    }
+}

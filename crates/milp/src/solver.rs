@@ -1,0 +1,622 @@
+//! Branch-and-bound over the LP relaxation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::model::{Model, Sense, VarKind};
+use crate::simplex::solve_relaxation;
+use crate::MilpError;
+
+/// Integrality tolerance: LP values this close to an integer count as
+/// integral.
+const INT_EPS: f64 = 1e-6;
+
+/// Solver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveConfig {
+    /// Wall-clock budget. The paper caps Gurobi at 5 minutes for the
+    /// Oracle policy; harnesses here default much lower.
+    pub time_limit: Duration,
+    /// Stop when `(best_bound − incumbent) / max(|incumbent|, 1)` falls
+    /// below this relative gap.
+    pub relative_gap: f64,
+    /// Hard cap on explored branch-and-bound nodes.
+    pub max_nodes: u64,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig {
+            time_limit: Duration::from_secs(30),
+            relative_gap: 1e-6,
+            max_nodes: 200_000,
+        }
+    }
+}
+
+impl SolveConfig {
+    /// A configuration with the given time limit and defaults elsewhere.
+    pub fn with_time_limit(time_limit: Duration) -> Self {
+        SolveConfig {
+            time_limit,
+            ..SolveConfig::default()
+        }
+    }
+}
+
+/// How the solve terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Proven optimal within the gap tolerance.
+    Optimal,
+    /// Feasible incumbent returned, but the time/node budget expired
+    /// before proving optimality.
+    Feasible,
+}
+
+/// A feasible MILP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Objective of `values` in the model's own sense.
+    pub objective: f64,
+    /// One value per model variable; integers are exactly integral.
+    pub values: Vec<f64>,
+    /// The best LP bound at termination (equals `objective` when optimal).
+    pub best_bound: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: u64,
+}
+
+impl MilpSolution {
+    /// Value of a variable in this solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign variable id.
+    pub fn value(&self, var: crate::VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// True if the binary/integer variable rounds to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign variable id.
+    pub fn is_one(&self, var: crate::VarId) -> bool {
+        self.values[var.0].round() == 1.0
+    }
+}
+
+/// A branch-and-bound node: bound overrides relative to the model.
+#[derive(Debug, Clone)]
+struct Node {
+    bounds: Vec<(f64, f64)>,
+    /// LP bound inherited from the parent (in internal maximize terms).
+    bound: f64,
+    depth: u32,
+}
+
+/// Heap ordering: best bound first, deeper first on ties (dives toward
+/// integer solutions).
+struct HeapNode(Node);
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound && self.0.depth == other.0.depth
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .bound
+            .total_cmp(&other.0.bound)
+            .then(self.0.depth.cmp(&other.0.depth))
+    }
+}
+
+impl Model {
+    /// Solves the model by branch-and-bound.
+    ///
+    /// Returns the best integer-feasible solution found. With an empty
+    /// integer set this is a single LP solve.
+    ///
+    /// # Errors
+    ///
+    /// - [`MilpError::Infeasible`] if no integer-feasible point exists
+    ///   (proven before the budget expires);
+    /// - [`MilpError::Unbounded`] if the root relaxation is unbounded;
+    /// - [`MilpError::TimeLimitNoSolution`] if the budget expired before
+    ///   any feasible solution was found;
+    /// - [`MilpError::IterationLimit`] on simplex breakdown.
+    pub fn solve(&self, config: &SolveConfig) -> Result<MilpSolution, MilpError> {
+        self.solve_with_warm_start(config, None)
+    }
+
+    /// Like [`Model::solve`], but seeds branch-and-bound with a known
+    /// feasible assignment (e.g. from a greedy heuristic). The warm start
+    /// is validated; an infeasible one is silently ignored. Guarantees
+    /// that a time-limited solve returns at least the warm-start quality.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_with_warm_start(
+        &self,
+        config: &SolveConfig,
+        warm_start: Option<&[f64]>,
+    ) -> Result<MilpSolution, MilpError> {
+        let start = Instant::now();
+        // Internal sense: maximize (flip objective for minimize models).
+        let internal = |obj: f64| match self.sense {
+            Sense::Maximize => obj,
+            Sense::Minimize => -obj,
+        };
+        let external = internal; // involution
+
+        let root_bounds: Vec<(f64, f64)> = self.vars.iter().map(|v| (v.lower, v.upper)).collect();
+        let int_vars: Vec<usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Integer)
+            .map(|(i, _)| i)
+            .collect();
+
+        let (root_obj, root_vals) = solve_relaxation(self, &root_bounds)?;
+        let mut nodes_explored: u64 = 1;
+
+        let mut incumbent: Option<(f64, Vec<f64>)> = None; // internal objective
+        if let Some(ws) = warm_start {
+            if ws.len() == self.vars.len() && self.is_feasible(ws, 1e-6) {
+                let snapped = rounded(ws, &int_vars);
+                if self.is_feasible(&snapped, 1e-6) {
+                    incumbent = Some((internal(self.objective_value(&snapped)), snapped));
+                }
+            }
+        }
+        let consider = |vals: &[f64],
+                            incumbent: &mut Option<(f64, Vec<f64>)>| {
+            if !self.is_feasible(vals, 1e-6) {
+                return;
+            }
+            let obj = internal(self.objective_value(vals));
+            match incumbent {
+                Some((best, _)) if *best >= obj => {}
+                _ => *incumbent = Some((obj, vals.to_vec())),
+            }
+        };
+
+        // Integral root?
+        if is_integral(&root_vals, &int_vars) {
+            let vals = rounded(&root_vals, &int_vars);
+            consider(&vals, &mut incumbent);
+            if let Some((obj, values)) = incumbent {
+                return Ok(MilpSolution {
+                    status: SolveStatus::Optimal,
+                    objective: external(obj),
+                    values,
+                    best_bound: external(obj),
+                    nodes_explored,
+                });
+            }
+        }
+        // Heuristics at the root for an early incumbent: cheap rounding,
+        // then an LP-guided dive.
+        let vals = rounded(&root_vals, &int_vars);
+        consider(&vals, &mut incumbent);
+        let deadline = start + config.time_limit;
+        if let Some(dived) = self.dive(&root_bounds, &int_vars, deadline) {
+            consider(&dived, &mut incumbent);
+        }
+
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapNode(Node {
+            bounds: root_bounds,
+            bound: internal(root_obj),
+            depth: 0,
+        }));
+        let mut best_bound;
+
+        while let Some(HeapNode(node)) = heap.pop() {
+            best_bound = node.bound;
+            if let Some((inc_obj, _)) = &incumbent {
+                let gap = (best_bound - inc_obj) / inc_obj.abs().max(1.0);
+                if gap <= config.relative_gap {
+                    let (obj, values) = incumbent.expect("checked above");
+                    // The proven bound cannot be worse than the incumbent.
+                    return Ok(MilpSolution {
+                        status: SolveStatus::Optimal,
+                        objective: external(obj),
+                        values,
+                        best_bound: external(best_bound.max(obj)),
+                        nodes_explored,
+                    });
+                }
+            }
+            if start.elapsed() >= config.time_limit || nodes_explored >= config.max_nodes {
+                return match incumbent {
+                    Some((obj, values)) => Ok(MilpSolution {
+                        status: SolveStatus::Feasible,
+                        objective: external(obj),
+                        values,
+                        best_bound: external(best_bound),
+                        nodes_explored,
+                    }),
+                    None => Err(MilpError::TimeLimitNoSolution),
+                };
+            }
+
+            // Solve this node's relaxation.
+            let (obj, vals) = match solve_relaxation(self, &node.bounds) {
+                Ok(r) => r,
+                Err(MilpError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            };
+            nodes_explored += 1;
+            let node_bound = internal(obj);
+            if let Some((inc_obj, _)) = &incumbent {
+                if node_bound <= *inc_obj + config.relative_gap * inc_obj.abs().max(1.0) {
+                    continue; // pruned by bound
+                }
+            }
+            // Find the most fractional integer variable.
+            let mut branch_var: Option<(usize, f64)> = None;
+            for &j in &int_vars {
+                let frac = (vals[j] - vals[j].round()).abs();
+                if frac > INT_EPS {
+                    let score = (vals[j] - vals[j].floor() - 0.5).abs();
+                    match branch_var {
+                        Some((_, best)) if best <= score => {}
+                        _ => branch_var = Some((j, score)),
+                    }
+                }
+            }
+            match branch_var {
+                None => {
+                    // Integer feasible.
+                    let snapped = rounded(&vals, &int_vars);
+                    consider(&snapped, &mut incumbent);
+                }
+                Some((j, _)) => {
+                    // Periodically dive from promising nodes for new
+                    // incumbents (diving is ~|int_vars| LP solves, so
+                    // keep it occasional).
+                    if nodes_explored % 128 == 0 {
+                        if let Some(dived) = self.dive(&node.bounds, &int_vars, deadline) {
+                            consider(&dived, &mut incumbent);
+                        }
+                    }
+                    let snapped = rounded(&vals, &int_vars);
+                    consider(&snapped, &mut incumbent);
+                    let x = vals[j];
+                    let (lo, hi) = node.bounds[j];
+                    // Down branch: x <= floor.
+                    let down_hi = x.floor();
+                    if down_hi >= lo - INT_EPS {
+                        let mut b = node.bounds.clone();
+                        b[j] = (lo, down_hi.max(lo));
+                        heap.push(HeapNode(Node {
+                            bounds: b,
+                            bound: node_bound,
+                            depth: node.depth + 1,
+                        }));
+                    }
+                    // Up branch: x >= ceil.
+                    let up_lo = x.ceil();
+                    if up_lo <= hi + INT_EPS {
+                        let mut b = node.bounds.clone();
+                        b[j] = (up_lo.min(hi), hi);
+                        heap.push(HeapNode(Node {
+                            bounds: b,
+                            bound: node_bound,
+                            depth: node.depth + 1,
+                        }));
+                    }
+                }
+            }
+        }
+
+        // Tree exhausted: incumbent (if any) is optimal.
+        match incumbent {
+            Some((obj, values)) => Ok(MilpSolution {
+                status: SolveStatus::Optimal,
+                objective: external(obj),
+                values,
+                best_bound: external(obj),
+                nodes_explored,
+            }),
+            None => Err(MilpError::Infeasible),
+        }
+    }
+}
+
+impl Model {
+    /// LP-guided diving heuristic: starting from `bounds`, repeatedly fix
+    /// the *least* fractional integer variable to its nearest integer and
+    /// re-solve the relaxation, backtracking once per variable to the
+    /// other side on infeasibility. Returns an integer-feasible
+    /// assignment if the dive lands on one. This is the workhorse that
+    /// turns fractional packing relaxations into good incumbents.
+    fn dive(
+        &self,
+        bounds: &[(f64, f64)],
+        int_vars: &[usize],
+        deadline: Instant,
+    ) -> Option<Vec<f64>> {
+        let mut b = bounds.to_vec();
+        // Each round fixes a *batch* of near-integral variables (plus at
+        // least the least-fractional one), so a dive costs a handful of
+        // LP solves rather than one per integer variable.
+        for _ in 0..(int_vars.len() + 1) {
+            if Instant::now() >= deadline {
+                return None;
+            }
+            let (_, vals) = match solve_relaxation(self, &b) {
+                Ok(r) => r,
+                Err(_) => return None, // infeasible dive: give up
+            };
+            let mut fractional: Vec<(usize, f64, f64)> = int_vars
+                .iter()
+                .filter_map(|&j| {
+                    let dist = (vals[j] - vals[j].round()).abs();
+                    (dist > INT_EPS).then_some((j, vals[j], dist))
+                })
+                .collect();
+            if fractional.is_empty() {
+                let snapped = rounded(&vals, int_vars);
+                return self.is_feasible(&snapped, 1e-6).then_some(snapped);
+            }
+            fractional.sort_by(|a, b| a.2.total_cmp(&b.2));
+            let mut fixed_any = false;
+            for &(j, x, dist) in &fractional {
+                if b[j].0 != b[j].1 && (dist <= 0.1 || !fixed_any) {
+                    let (lo, hi) = b[j];
+                    let v = x.round().clamp(lo, hi);
+                    b[j] = (v, v);
+                    fixed_any = true;
+                }
+            }
+            if !fixed_any {
+                return None; // everything fractional is already fixed
+            }
+        }
+        None
+    }
+}
+
+fn is_integral(vals: &[f64], int_vars: &[usize]) -> bool {
+    int_vars
+        .iter()
+        .all(|&j| (vals[j] - vals[j].round()).abs() <= INT_EPS)
+}
+
+fn rounded(vals: &[f64], int_vars: &[usize]) -> Vec<f64> {
+    let mut out = vals.to_vec();
+    for &j in int_vars {
+        out[j] = out[j].round();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Relation;
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 5.0, 2.0).unwrap();
+        m.add_constraint("c", vec![(x, 1.0)], Relation::Le, 3.0)
+            .unwrap();
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_optimum() {
+        // Classic: values 60/100/120, weights 10/20/30, cap 50 -> 220.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a", 60.0);
+        let b = m.add_binary("b", 100.0);
+        let c = m.add_binary("c", 120.0);
+        m.add_constraint(
+            "cap",
+            vec![(a, 10.0), (b, 20.0), (c, 30.0)],
+            Relation::Le,
+            50.0,
+        )
+        .unwrap();
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 220.0).abs() < 1e-6);
+        assert!(!sol.is_one(a) && sol.is_one(b) && sol.is_one(c));
+    }
+
+    #[test]
+    fn minimize_set_cover() {
+        // Cover {1,2,3} with sets A={1,2} cost 2, B={2,3} cost 2,
+        // C={1,2,3} cost 3 -> pick C (cost 3) vs A+B (cost 4).
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("A", 2.0);
+        let b = m.add_binary("B", 2.0);
+        let c = m.add_binary("C", 3.0);
+        m.add_constraint("e1", vec![(a, 1.0), (c, 1.0)], Relation::Ge, 1.0)
+            .unwrap();
+        m.add_constraint("e2", vec![(a, 1.0), (b, 1.0), (c, 1.0)], Relation::Ge, 1.0)
+            .unwrap();
+        m.add_constraint("e3", vec![(b, 1.0), (c, 1.0)], Relation::Ge, 1.0)
+            .unwrap();
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+        assert!(sol.is_one(c));
+    }
+
+    #[test]
+    fn assignment_problem() {
+        // 3x3 assignment, cost matrix with known optimum 5 (1+1+3... build
+        // explicitly): costs[i][j].
+        let costs = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new(Sense::Minimize);
+        let mut vars = [[None; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                vars[i][j] = Some(m.add_binary(format!("x{i}{j}"), costs[i][j]));
+            }
+        }
+        for i in 0..3 {
+            m.add_constraint(
+                format!("row{i}"),
+                (0..3).map(|j| (vars[i][j].unwrap(), 1.0)),
+                Relation::Eq,
+                1.0,
+            )
+            .unwrap();
+            m.add_constraint(
+                format!("col{i}"),
+                (0..3).map(|j| (vars[j][i].unwrap(), 1.0)),
+                Relation::Eq,
+                1.0,
+            )
+            .unwrap();
+        }
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        // Optimal: (0,1)=1, (1,0)=2, (2,2)=2 -> 5.
+        assert!((sol.objective - 5.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn infeasible_integer_model() {
+        // x + y = 1.5 with x, y binary has no integer solution but a
+        // feasible relaxation.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Relation::Eq, 1.5)
+            .unwrap();
+        assert_eq!(m.solve(&SolveConfig::default()), Err(MilpError::Infeasible));
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // maximize 5a + x  s.t. 3a + x <= 4, x in [0, 2], a binary.
+        // a=1, x=1 -> 6.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a", 5.0);
+        let x = m.add_continuous("x", 0.0, 2.0, 1.0).unwrap();
+        m.add_constraint("c", vec![(a, 3.0), (x, 1.0)], Relation::Le, 4.0)
+            .unwrap();
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-6);
+        assert!(sol.is_one(a));
+        assert!((sol.value(x) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn general_integers_branch_correctly() {
+        // maximize x + y, 2x + 3y <= 12, x,y integer in [0, 5].
+        // Optimum: x=5, y=0 -> 5? 2*5=10<=12, y can be 0; x=4,y=1: 11<=12
+        // obj 5; x=3,y=2: 12<=12 obj 5. So 5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 5.0, 1.0).unwrap();
+        let y = m.add_var("y", VarKind::Integer, 0.0, 5.0, 1.0).unwrap();
+        m.add_constraint("c", vec![(x, 2.0), (y, 3.0)], Relation::Le, 12.0)
+            .unwrap();
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn larger_knapsack_matches_dp() {
+        // 20-item knapsack with deterministic pseudo-random data; verify
+        // against dynamic programming.
+        let n = 20usize;
+        let values: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 50 + 1) as f64).collect();
+        let weights: Vec<usize> = (0..n).map(|i| (i * 53 + 7) % 30 + 1).collect();
+        let cap = 80usize;
+        // DP.
+        let mut dp = vec![0.0_f64; cap + 1];
+        for i in 0..n {
+            for w in (weights[i]..=cap).rev() {
+                dp[w] = dp[w].max(dp[w - weights[i]] + values[i]);
+            }
+        }
+        let best = dp[cap];
+        // MILP.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_binary(format!("x{i}"), values[i]))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().enumerate().map(|(i, &v)| (v, weights[i] as f64)),
+            Relation::Le,
+            cap as f64,
+        )
+        .unwrap();
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!(
+            (sol.objective - best).abs() < 1e-6,
+            "milp {} vs dp {}",
+            sol.objective,
+            best
+        );
+    }
+
+    #[test]
+    fn time_limit_returns_feasible_or_error() {
+        // A stress model with an immediate rounding incumbent: tiny time
+        // limit must still return *something* sensible.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..30)
+            .map(|i| m.add_binary(format!("x{i}"), 1.0 + (i % 7) as f64))
+            .collect();
+        for k in 0..10 {
+            m.add_constraint(
+                format!("c{k}"),
+                vars.iter()
+                    .enumerate()
+                    .filter(|(i, _)| (i + k) % 3 != 0)
+                    .map(|(i, &v)| (v, 1.0 + (i % 5) as f64)),
+                Relation::Le,
+                17.0,
+            )
+            .unwrap();
+        }
+        let config = SolveConfig {
+            time_limit: Duration::from_millis(1),
+            ..SolveConfig::default()
+        };
+        match m.solve(&config) {
+            Ok(sol) => assert!(m.is_feasible(&sol.values, 1e-6)),
+            Err(MilpError::TimeLimitNoSolution) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn best_bound_brackets_objective() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a", 3.0);
+        let b = m.add_binary("b", 4.0);
+        m.add_constraint("c", vec![(a, 2.0), (b, 3.0)], Relation::Le, 4.0)
+            .unwrap();
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        assert!(sol.best_bound >= sol.objective - 1e-6);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests: the MILP solver against brute force and its own LP bound.
+
+use flex_milp::simplex::solve_relaxation;
+use flex_milp::{Model, Relation, Sense, SolveConfig};
+use proptest::prelude::*;
+
+/// Builds a random feasible maximize-LP: non-negative variables with upper
+/// bounds and `Σ aᵢxᵢ ≤ b` rows with non-negative coefficients (so x = 0
+/// is always feasible).
+fn arb_lp() -> impl Strategy<Value = Model> {
+    let var = (0.1f64..10.0, 0.5f64..20.0); // (objective, upper bound)
+    let vars = proptest::collection::vec(var, 1..6);
+    let rows = proptest::collection::vec(
+        (
+            proptest::collection::vec(0.0f64..5.0, 6),
+            1.0f64..40.0,
+        ),
+        0..5,
+    );
+    (vars, rows).prop_map(|(vars, rows)| {
+        let mut m = Model::new(Sense::Maximize);
+        let ids: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, (obj, ub))| {
+                m.add_continuous(format!("x{i}"), 0.0, *ub, *obj).unwrap()
+            })
+            .collect();
+        for (k, (coeffs, rhs)) in rows.iter().enumerate() {
+            let terms: Vec<_> = ids
+                .iter()
+                .zip(coeffs)
+                .map(|(&id, &c)| (id, c))
+                .collect();
+            m.add_constraint(format!("r{k}"), terms, Relation::Le, *rhs)
+                .unwrap();
+        }
+        m
+    })
+}
+
+/// A random knapsack small enough for exhaustive search.
+fn arb_knapsack() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, f64)> {
+    (1usize..=10).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1.0f64..50.0, n..=n),
+            proptest::collection::vec(1.0f64..20.0, n..=n),
+            10.0f64..60.0,
+        )
+    })
+}
+
+fn brute_force_knapsack(values: &[f64], weights: &[f64], cap: f64) -> f64 {
+    let n = values.len();
+    let mut best = 0.0_f64;
+    for mask in 0u32..(1 << n) {
+        let mut v = 0.0;
+        let mut w = 0.0;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                v += values[i];
+                w += weights[i];
+            }
+        }
+        if w <= cap {
+            best = best.max(v);
+        }
+    }
+    best
+}
+
+/// Regression for a phase-1 bug: rows whose initial residual is negative
+/// (e.g. `Σ terms − M ≤ −e` with all variables starting at 0) previously
+/// produced a non-identity artificial basis and false infeasibility.
+#[test]
+fn negative_residual_rows_are_feasible() {
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_binary("x", 10.0);
+    let big = m.add_continuous("M", 0.0, 2.0, -1.0).unwrap();
+    let small = m.add_continuous("m", 0.0, 2.0, 1.0).unwrap();
+    // 0.4·x − M ≤ −0.25  (forces M ≥ 0.25 + 0.4 x)
+    m.add_constraint("up", vec![(x, 0.4), (big, -1.0)], Relation::Le, -0.25)
+        .unwrap();
+    // 0.4·x − m ≥ −0.25  (m ≤ 0.25 + 0.4 x)
+    m.add_constraint("down", vec![(x, 0.4), (small, -1.0)], Relation::Ge, -0.25)
+        .unwrap();
+    let sol = m.solve(&SolveConfig::default()).unwrap();
+    // Optimal: x = 1 (10 pts), M = m = 0.65 (spread cost 0).
+    assert!(sol.is_one(x), "x should be selected: {sol:?}");
+    assert!((sol.objective - 10.0).abs() < 1e-6, "objective {}", sol.objective);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Optimal LP solutions are feasible and report their own objective.
+    #[test]
+    fn lp_solutions_are_feasible(m in arb_lp()) {
+        let bounds: Vec<(f64, f64)> = (0..m.var_count())
+            .map(|_| (0.0, f64::MAX))
+            .collect();
+        // Use the model's own bounds (intersection keeps them).
+        let (obj, vals) = solve_relaxation(&m, &bounds).unwrap();
+        prop_assert!(m.is_feasible(&vals, 1e-5) || {
+            // Continuous model: integrality can't fail, so feasibility must hold.
+            false
+        }, "infeasible LP solution: {vals:?}");
+        prop_assert!((m.objective_value(&vals) - obj).abs() < 1e-5,
+            "objective mismatch: {} vs {}", m.objective_value(&vals), obj);
+    }
+
+    /// MILP knapsack matches exhaustive search.
+    #[test]
+    fn knapsack_matches_brute_force((values, weights, cap) in arb_knapsack()) {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| m.add_binary(format!("x{i}"), *v))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().zip(&weights).map(|(&v, &w)| (v, w)),
+            Relation::Le,
+            cap,
+        )
+        .unwrap();
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        let best = brute_force_knapsack(&values, &weights, cap);
+        prop_assert!((sol.objective - best).abs() < 1e-6,
+            "milp {} vs brute force {}", sol.objective, best);
+        prop_assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    /// The integer optimum never exceeds the LP relaxation bound
+    /// (maximize), and the solver's reported best_bound brackets it.
+    #[test]
+    fn milp_bounded_by_relaxation((values, weights, cap) in arb_knapsack()) {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| m.add_binary(format!("x{i}"), *v))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().zip(&weights).map(|(&v, &w)| (v, w)),
+            Relation::Le,
+            cap,
+        )
+        .unwrap();
+        let bounds: Vec<(f64, f64)> = (0..m.var_count()).map(|_| (0.0, 1.0)).collect();
+        let (lp_obj, _) = solve_relaxation(&m, &bounds).unwrap();
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        prop_assert!(sol.objective <= lp_obj + 1e-6,
+            "integer {} exceeds relaxation {}", sol.objective, lp_obj);
+        prop_assert!(sol.best_bound + 1e-6 >= sol.objective);
+    }
+}

@@ -1,0 +1,331 @@
+//! Out-of-band actuation through rack managers and BMCs.
+//!
+//! Flex-Online enforces actions via the rack manager (RM) / baseboard
+//! management controller (BMC) out-of-band path (Section VI): commands
+//! take ~hundreds of milliseconds to a couple of seconds (p99.9 ≈ 2 s in
+//! production for a 10 MW room), RMs can be unreachable, and repeated
+//! commands must be idempotent.
+
+use flex_placement::RackId;
+use flex_sim::dist::{LogNormal, Sample};
+use flex_sim::fault::FaultPlan;
+use flex_sim::rng::RngPool;
+use flex_sim::stats::Percentiles;
+use flex_sim::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+use crate::policy::ActionKind;
+
+/// Electrical state of a rack as enforced by its rack manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RackPowerState {
+    /// Unconstrained.
+    #[default]
+    Normal,
+    /// Capped at the rack's flex power.
+    Throttled,
+    /// Powered off.
+    Off,
+}
+
+/// Actuator tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActuatorConfig {
+    /// Median command latency (RM/BMC round trip + enforcement).
+    pub latency_median_ms: f64,
+    /// Log-normal sigma of the command latency.
+    pub latency_sigma: f64,
+    /// Extra delay for a rack to boot back up after a restore command.
+    pub restart_delay: SimDuration,
+}
+
+impl Default for ActuatorConfig {
+    fn default() -> Self {
+        ActuatorConfig {
+            latency_median_ms: 600.0,
+            latency_sigma: 0.45,
+            restart_delay: SimDuration::from_secs(90),
+        }
+    }
+}
+
+/// A command accepted by the actuator, to be applied at `apply_at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingCommand {
+    /// Target rack.
+    pub rack: RackId,
+    /// State the rack will be in once applied.
+    pub new_state: RackPowerState,
+    /// When the state change takes effect.
+    pub apply_at: SimTime,
+}
+
+/// The rack-manager actuation path: latency, reachability, idempotency.
+///
+/// Reachability is governed by a [`FaultPlan`] with component names
+/// `"rm/{rack}"`. Commands to unreachable RMs are rejected (the
+/// controller retries on its next decision round).
+#[derive(Debug, Clone)]
+pub struct Actuator {
+    config: ActuatorConfig,
+    states: Vec<RackPowerState>,
+    faults: FaultPlan,
+    latency: LogNormal,
+    rng: SmallRng,
+    /// Per-rack time of the latest scheduled enforcement: commands to
+    /// the same rack manager apply in submission order (the RM serializes
+    /// its command queue), so a restore can never overtake an in-flight
+    /// action.
+    last_apply: Vec<SimTime>,
+    /// Latency from submission to enforcement for accepted commands.
+    pub command_latency: Percentiles,
+}
+
+impl Actuator {
+    /// Creates an actuator for `rack_count` racks, all initially normal.
+    pub fn new(rack_count: usize, config: ActuatorConfig, pool: &RngPool) -> Self {
+        Actuator {
+            states: vec![RackPowerState::Normal; rack_count],
+            latency: LogNormal::from_median(config.latency_median_ms.max(1e-3), config.latency_sigma.max(1e-6)),
+            rng: pool.stream("actuator"),
+            faults: FaultPlan::new(),
+            last_apply: vec![SimTime::ZERO; rack_count],
+            command_latency: Percentiles::new(),
+            config,
+        }
+    }
+
+    /// Attaches a fault plan (`"rm/{rack}"` outages).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Current state of a rack.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign rack id.
+    pub fn state(&self, rack: RackId) -> RackPowerState {
+        self.states[rack.0]
+    }
+
+    /// All rack states (index = rack id).
+    pub fn states(&self) -> &[RackPowerState] {
+        &self.states
+    }
+
+    /// Submits a corrective action. Returns the pending command if the
+    /// RM is reachable, `None` otherwise. Submitting an action the rack
+    /// is already in (or heading to) is accepted and harmless — the
+    /// application is idempotent.
+    pub fn submit_action(
+        &mut self,
+        now: SimTime,
+        rack: RackId,
+        kind: ActionKind,
+    ) -> Option<PendingCommand> {
+        self.submit(now, rack, match kind {
+            ActionKind::Shutdown => RackPowerState::Off,
+            ActionKind::Throttle => RackPowerState::Throttled,
+        }, SimDuration::ZERO)
+    }
+
+    /// Submits a restore (lift cap / power on). Powering on adds the
+    /// configured restart delay.
+    pub fn submit_restore(&mut self, now: SimTime, rack: RackId) -> Option<PendingCommand> {
+        let extra = if self.states.get(rack.0) == Some(&RackPowerState::Off) {
+            self.config.restart_delay
+        } else {
+            SimDuration::ZERO
+        };
+        self.submit(now, rack, RackPowerState::Normal, extra)
+    }
+
+    fn submit(
+        &mut self,
+        now: SimTime,
+        rack: RackId,
+        new_state: RackPowerState,
+        extra_delay: SimDuration,
+    ) -> Option<PendingCommand> {
+        if rack.0 >= self.states.len() {
+            return None;
+        }
+        if !self.faults.is_up(&format!("rm/{}", rack.0), now) {
+            return None;
+        }
+        let latency_ms = self.latency.sample(&mut self.rng);
+        let mut apply_at = now + SimDuration::from_secs_f64(latency_ms / 1_000.0) + extra_delay;
+        // Per-rack FIFO: the RM serializes commands.
+        let earliest = self.last_apply[rack.0] + SimDuration::from_millis(1);
+        apply_at = apply_at.max(earliest);
+        self.last_apply[rack.0] = apply_at;
+        self.command_latency
+            .record((apply_at - now).as_secs_f64());
+        Some(PendingCommand {
+            rack,
+            new_state,
+            apply_at,
+        })
+    }
+
+    /// Applies a pending command (call at its `apply_at` time).
+    /// Idempotent: re-applying the current state is a no-op.
+    pub fn apply(&mut self, cmd: &PendingCommand) {
+        if let Some(slot) = self.states.get_mut(cmd.rack.0) {
+            *slot = cmd.new_state;
+        }
+    }
+
+    /// The effective power a rack draws given its demand and envelope.
+    pub fn effective_power(
+        &self,
+        rack: RackId,
+        demand: flex_power::Watts,
+        flex_power: flex_power::Watts,
+    ) -> flex_power::Watts {
+        match self.states[rack.0] {
+            RackPowerState::Normal => demand,
+            RackPowerState::Throttled => demand.min(flex_power),
+            RackPowerState::Off => flex_power::Watts::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex_power::Watts;
+
+    fn actuator(n: usize) -> Actuator {
+        Actuator::new(n, ActuatorConfig::default(), &RngPool::new(9))
+    }
+
+    #[test]
+    fn submit_and_apply_changes_state() {
+        let mut a = actuator(4);
+        let cmd = a
+            .submit_action(SimTime::ZERO, RackId(2), ActionKind::Throttle)
+            .unwrap();
+        assert!(cmd.apply_at > SimTime::ZERO);
+        assert_eq!(a.state(RackId(2)), RackPowerState::Normal, "not yet applied");
+        a.apply(&cmd);
+        assert_eq!(a.state(RackId(2)), RackPowerState::Throttled);
+    }
+
+    #[test]
+    fn idempotent_application() {
+        let mut a = actuator(2);
+        let c1 = a
+            .submit_action(SimTime::ZERO, RackId(0), ActionKind::Shutdown)
+            .unwrap();
+        let c2 = a
+            .submit_action(SimTime::ZERO, RackId(0), ActionKind::Shutdown)
+            .unwrap();
+        a.apply(&c1);
+        a.apply(&c2);
+        assert_eq!(a.state(RackId(0)), RackPowerState::Off);
+    }
+
+    #[test]
+    fn unreachable_rm_rejects_commands() {
+        let mut a = actuator(2);
+        let mut plan = FaultPlan::new();
+        plan.add_outage("rm/1", SimTime::ZERO, SimTime::from_secs_f64(100.0));
+        a.set_fault_plan(plan);
+        assert!(a
+            .submit_action(SimTime::from_secs_f64(5.0), RackId(1), ActionKind::Throttle)
+            .is_none());
+        // Other racks unaffected.
+        assert!(a
+            .submit_action(SimTime::from_secs_f64(5.0), RackId(0), ActionKind::Throttle)
+            .is_some());
+        // After the outage, reachable again.
+        assert!(a
+            .submit_action(SimTime::from_secs_f64(101.0), RackId(1), ActionKind::Throttle)
+            .is_some());
+    }
+
+    #[test]
+    fn restore_from_off_includes_restart_delay() {
+        let mut a = actuator(1);
+        let down = a
+            .submit_action(SimTime::ZERO, RackId(0), ActionKind::Shutdown)
+            .unwrap();
+        a.apply(&down);
+        let now = SimTime::from_secs_f64(60.0);
+        let up = a.submit_restore(now, RackId(0)).unwrap();
+        assert!(up.apply_at >= now + ActuatorConfig::default().restart_delay);
+        a.apply(&up);
+        assert_eq!(a.state(RackId(0)), RackPowerState::Normal);
+        // Restoring a throttled rack has no restart delay.
+        let t = a
+            .submit_action(up.apply_at, RackId(0), ActionKind::Throttle)
+            .unwrap();
+        a.apply(&t);
+        let lift = a.submit_restore(t.apply_at, RackId(0)).unwrap();
+        assert!(lift.apply_at < t.apply_at + SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn effective_power_by_state() {
+        let mut a = actuator(1);
+        let demand = Watts::from_kw(14.0);
+        let flex = Watts::from_kw(11.0);
+        assert_eq!(a.effective_power(RackId(0), demand, flex), demand);
+        let t = a
+            .submit_action(SimTime::ZERO, RackId(0), ActionKind::Throttle)
+            .unwrap();
+        a.apply(&t);
+        assert_eq!(a.effective_power(RackId(0), demand, flex), flex);
+        // Throttle only binds when demand exceeds flex.
+        assert_eq!(
+            a.effective_power(RackId(0), Watts::from_kw(5.0), flex),
+            Watts::from_kw(5.0)
+        );
+        let off = a
+            .submit_action(SimTime::ZERO, RackId(0), ActionKind::Shutdown)
+            .unwrap();
+        a.apply(&off);
+        assert_eq!(a.effective_power(RackId(0), demand, flex), Watts::ZERO);
+    }
+
+    #[test]
+    fn command_latency_is_recorded_and_subsecondish() {
+        let mut a = actuator(100);
+        for i in 0..100 {
+            let _ = a.submit_action(SimTime::ZERO, RackId(i), ActionKind::Throttle);
+        }
+        let p50 = a.command_latency.quantile(0.5).unwrap();
+        assert!((0.2..2.0).contains(&p50), "median latency {p50}s");
+    }
+
+    #[test]
+    fn per_rack_commands_apply_in_submission_order() {
+        // Regression: a restore submitted just after an action must
+        // never take effect before it (the RM serializes its queue) —
+        // otherwise the rack would end up acted-on with no owner.
+        let mut a = actuator(1);
+        for _ in 0..200 {
+            let act = a
+                .submit_action(SimTime::from_secs_f64(1.0), RackId(0), ActionKind::Throttle)
+                .unwrap();
+            let restore = a.submit_restore(SimTime::from_secs_f64(1.01), RackId(0)).unwrap();
+            assert!(
+                restore.apply_at > act.apply_at,
+                "restore ({}) overtook action ({})",
+                restore.apply_at,
+                act.apply_at
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_rack_rejected() {
+        let mut a = actuator(1);
+        assert!(a
+            .submit_action(SimTime::ZERO, RackId(5), ActionKind::Throttle)
+            .is_none());
+    }
+}

@@ -1,0 +1,534 @@
+//! A Flex controller instance.
+//!
+//! Controllers run multi-primary (Section IV-D): several instances in
+//! separate fault domains each consume the telemetry streams and act
+//! independently. Because actions are idempotent, disagreement between
+//! instances can at worst overcorrect, never compromise safety.
+
+use std::collections::HashMap;
+
+use flex_placement::{PlacedRack, RackId};
+use flex_power::{Topology, Watts};
+use flex_sim::{SimDuration, SimTime};
+use flex_telemetry::TelemetryPayload;
+
+use crate::policy::{decide, ActionKind, DecisionInput, PolicyConfig};
+use crate::ImpactRegistry;
+
+/// A command a controller wants enforced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Command {
+    /// Apply a corrective action.
+    Act {
+        /// Target rack.
+        rack: RackId,
+        /// Shutdown or throttle.
+        kind: ActionKind,
+    },
+    /// Lift a previous action (restore to normal).
+    Restore {
+        /// Target rack.
+        rack: RackId,
+    },
+}
+
+/// Controller tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Decision policy parameters.
+    pub policy: PolicyConfig,
+    /// Restore only when every UPS has been below
+    /// `capacity × restore_threshold_fraction` for this long, with all
+    /// UPSes back in service.
+    pub restore_hysteresis: SimDuration,
+    /// See `restore_hysteresis`.
+    pub restore_threshold_fraction: f64,
+    /// Discard telemetry older than this when deciding.
+    pub staleness_limit: SimDuration,
+    /// For this long after issuing an action, subtract its estimated
+    /// recovery from incoming UPS readings (the snapshot has not caught
+    /// up yet); limits self-overcorrection between telemetry rounds.
+    pub reflect_window: SimDuration,
+    /// Lift individual actions while a failover persists if the load has
+    /// dropped far enough that the reversal is provably safe (the
+    /// paper's "some power caps may be lifted… (not shown here)").
+    pub partial_relief: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            policy: PolicyConfig::default(),
+            restore_hysteresis: SimDuration::from_secs(30),
+            restore_threshold_fraction: 0.92,
+            staleness_limit: SimDuration::from_secs(15),
+            reflect_window: SimDuration::from_secs(6),
+            partial_relief: true,
+        }
+    }
+}
+
+/// One multi-primary controller instance.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    id: usize,
+    topology: Topology,
+    racks: Vec<PlacedRack>,
+    registry: ImpactRegistry,
+    config: ControllerConfig,
+    ups_power: Vec<Option<(SimTime, Watts)>>,
+    rack_power: Vec<Option<(SimTime, Watts)>>,
+    /// This instance's view of the actions it has requested.
+    action_log: HashMap<RackId, ActionKind>,
+    /// Time since when the room has continuously looked healthy.
+    healthy_since: Option<SimTime>,
+    /// Set after a failover engaged; restore logic only runs then.
+    engaged: bool,
+    /// Recently issued actions whose effect telemetry has not yet
+    /// reflected: (issued at, rack, estimated per-UPS recovery).
+    recent: Vec<(SimTime, RackId, Vec<(flex_power::UpsId, Watts)>)>,
+}
+
+impl Controller {
+    /// Creates a controller instance.
+    pub fn new(
+        id: usize,
+        topology: Topology,
+        racks: Vec<PlacedRack>,
+        registry: ImpactRegistry,
+        config: ControllerConfig,
+    ) -> Self {
+        let ups_count = topology.ups_count();
+        let rack_count = racks.len();
+        Controller {
+            id,
+            topology,
+            racks,
+            registry,
+            config,
+            ups_power: vec![None; ups_count],
+            rack_power: vec![None; rack_count],
+            action_log: HashMap::new(),
+            healthy_since: None,
+            engaged: false,
+            recent: Vec::new(),
+        }
+    }
+
+    /// The instance id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Racks this instance believes it has acted on.
+    pub fn action_log(&self) -> &HashMap<RackId, ActionKind> {
+        &self.action_log
+    }
+
+    /// True once the controller has taken corrective actions that have
+    /// not yet been restored.
+    pub fn is_engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// Ingests a telemetry delivery and returns any commands to enforce.
+    pub fn on_delivery(&mut self, now: SimTime, payload: &TelemetryPayload) -> Vec<Command> {
+        match payload {
+            TelemetryPayload::UpsSnapshot(snapshot) => {
+                for &(ups, w) in snapshot {
+                    if let Some(slot) = self.ups_power.get_mut(ups.0) {
+                        *slot = Some((now, w));
+                    }
+                }
+                self.evaluate(now)
+            }
+            TelemetryPayload::RackSnapshot(snapshot) => {
+                for &(rack, w) in snapshot {
+                    if let Some(slot) = self.rack_power.get_mut(rack) {
+                        *slot = Some((now, w));
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Records that a previously issued action could not be enforced
+    /// (unreachable RM), so it will be retried on the next decision.
+    pub fn on_enforcement_failed(&mut self, rack: RackId) {
+        self.action_log.remove(&rack);
+        self.recent.retain(|(_, r, _)| *r != rack);
+    }
+
+    fn fresh_ups_powers(&self, now: SimTime) -> Option<Vec<Watts>> {
+        // A UPS with no fresh reading is assumed at its limit — the
+        // conservative treatment the paper requires when data is missing.
+        let mut out = Vec::with_capacity(self.ups_power.len());
+        let mut any_fresh = false;
+        for (idx, slot) in self.ups_power.iter().enumerate() {
+            match slot {
+                Some((t, w)) if now.saturating_since(*t) <= self.config.staleness_limit => {
+                    any_fresh = true;
+                    out.push(*w);
+                }
+                _ => {
+                    let cap = self
+                        .topology
+                        .ups(flex_power::UpsId(idx))
+                        .expect("ups in topology")
+                        .capacity();
+                    out.push(cap);
+                }
+            }
+        }
+        any_fresh.then_some(out)
+    }
+
+    fn rack_powers(&self) -> Vec<Watts> {
+        // Missing rack data estimates the rack at its provisioned power
+        // (conservative for recovery estimation).
+        self.racks
+            .iter()
+            .map(|r| match self.rack_power[r.id.0] {
+                Some((_, w)) => w,
+                None => r.provisioned,
+            })
+            .collect()
+    }
+
+    fn evaluate(&mut self, now: SimTime) -> Vec<Command> {
+        let Some(raw_ups_power) = self.fresh_ups_powers(now) else {
+            return Vec::new();
+        };
+        // Project the recoveries of recently issued (not yet reflected)
+        // actions onto the readings.
+        self.recent
+            .retain(|(t, _, _)| now.saturating_since(*t) < self.config.reflect_window);
+        let mut ups_power = raw_ups_power.clone();
+        for (_, _, shares) in &self.recent {
+            for &(u, w) in shares {
+                ups_power[u.0] = (ups_power[u.0] - w).clamp_non_negative();
+            }
+        }
+        // Overdraw check against limit − buffer.
+        let over = self.topology.upses().iter().any(|u| {
+            let limit = u.capacity() * (1.0 - self.config.policy.buffer_fraction);
+            ups_power[u.id().0].exceeds(limit)
+        });
+        if over {
+            self.healthy_since = None;
+            let rack_power = self.rack_powers();
+            let input = DecisionInput {
+                topology: &self.topology,
+                racks: &self.racks,
+                rack_power: &rack_power,
+                ups_power: &ups_power,
+            };
+            let outcome = decide(&input, &self.action_log, &self.registry, &self.config.policy);
+            let online =
+                crate::policy::infer_online(&self.topology, &ups_power, &self.config.policy);
+            let mut commands = Vec::with_capacity(outcome.actions.len());
+            for action in outcome.actions {
+                self.action_log.insert(action.rack, action.kind);
+                let pair = self.racks[action.rack.0].pdu_pair;
+                let shares = crate::policy::recovery_shares(
+                    &self.topology,
+                    pair,
+                    &online,
+                    action.estimated_recovery,
+                );
+                self.recent.push((now, action.rack, shares));
+                commands.push(Command::Act {
+                    rack: action.rack,
+                    kind: action.kind,
+                });
+            }
+            if !commands.is_empty() {
+                self.engaged = true;
+            }
+            return commands;
+        }
+
+        // Healthy: consider restoration if we are engaged.
+        if !self.engaged {
+            return Vec::new();
+        }
+        let all_in_service = self.topology.upses().iter().all(|u| {
+            ups_power[u.id().0]
+                > u.capacity() * self.config.policy.failed_threshold_fraction
+        });
+        let all_below_restore = self.topology.upses().iter().all(|u| {
+            !ups_power[u.id().0]
+                .exceeds(u.capacity() * self.config.restore_threshold_fraction)
+        });
+        if all_in_service && all_below_restore {
+            let since = *self.healthy_since.get_or_insert(now);
+            if now.saturating_since(since) >= self.config.restore_hysteresis {
+                let commands: Vec<Command> = self
+                    .action_log
+                    .keys()
+                    .map(|&rack| Command::Restore { rack })
+                    .collect();
+                self.action_log.clear();
+                self.engaged = false;
+                self.healthy_since = None;
+                return commands;
+            }
+            return Vec::new();
+        }
+        self.healthy_since = None;
+
+        // Partial relief (the paper's "if the power draw falls
+        // significantly, some power caps may be lifted or servers
+        // restored", Section IV-D): while the failover persists but the
+        // load has dropped well below the limit, lift one action per
+        // telemetry round — the one whose reversal provably keeps every
+        // UPS under limit − buffer.
+        if self.config.partial_relief {
+            let online =
+                crate::policy::infer_online(&self.topology, &ups_power, &self.config.policy);
+            let rack_power = self.rack_powers();
+            let mut best: Option<(RackId, Watts)> = None;
+            for (&rack, &kind) in &self.action_log {
+                // Never lift an action that may still be in flight —
+                // telemetry has not yet confirmed its effect.
+                if self.recent.iter().any(|(_, r, _)| *r == rack) {
+                    continue;
+                }
+                let r = &self.racks[rack.0];
+                // Power that returns if this action is lifted.
+                let returned = match kind {
+                    ActionKind::Shutdown => rack_power[rack.0].min(r.provisioned),
+                    ActionKind::Throttle => {
+                        (r.provisioned - r.flex_power).clamp_non_negative() * 0.5
+                    }
+                };
+                if returned.as_w() <= 0.0 {
+                    continue;
+                }
+                let shares =
+                    crate::policy::recovery_shares(&self.topology, r.pdu_pair, &online, returned);
+                let safe = shares.iter().all(|&(u, w)| {
+                    let cap = self
+                        .topology
+                        .ups(u)
+                        .expect("ups in topology")
+                        .capacity();
+                    let limit = cap * (1.0 - 2.0 * self.config.policy.buffer_fraction);
+                    !(ups_power[u.0] + w).exceeds(limit)
+                });
+                if safe {
+                    // Prefer lifting the action that returns the least
+                    // power (cheapest to re-take if load climbs back);
+                    // ties break by rack id for determinism across the
+                    // HashMap's iteration order.
+                    let better = match best {
+                        Some((br, bw)) => {
+                            returned < bw || (returned.approx_eq(bw, 1e-9) && rack < br)
+                        }
+                        None => true,
+                    };
+                    if better {
+                        best = Some((rack, returned));
+                    }
+                }
+            }
+            if let Some((rack, returned)) = best {
+                self.action_log.remove(&rack);
+                // Account for the returning load in the reflect window
+                // (negative recovery = added power).
+                let shares: Vec<(flex_power::UpsId, Watts)> = crate::policy::recovery_shares(
+                    &self.topology,
+                    self.racks[rack.0].pdu_pair,
+                    &crate::policy::infer_online(&self.topology, &ups_power, &self.config.policy),
+                    returned,
+                )
+                .into_iter()
+                .map(|(u, w)| (u, -w))
+                .collect();
+                self.recent.push((now, rack, shares));
+                if self.action_log.is_empty() {
+                    self.engaged = false;
+                }
+                return vec![Command::Restore { rack }];
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex_placement::policies::{BalancedRoundRobin, PlacementPolicy};
+    use flex_placement::{PlacedRoom, RoomConfig};
+    use flex_power::{FeedState, Fraction, UpsId};
+    use flex_workload::impact::scenarios;
+    use flex_workload::power_model::RackPowerModel;
+    use flex_workload::trace::{TraceConfig, TraceGenerator};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        placed: PlacedRoom,
+        draws: Vec<Watts>,
+        controller: Controller,
+    }
+
+    fn fixture(util: f64) -> Fixture {
+        let room = RoomConfig::paper_emulation_room().build().unwrap();
+        let config = TraceConfig::microsoft(Watts::from_mw(4.8));
+        let mut rng = SmallRng::seed_from_u64(11);
+        let trace = TraceGenerator::new(config).generate(&mut rng);
+        let placement = BalancedRoundRobin.place(&room, &trace, &mut rng);
+        let placed = PlacedRoom::materialize(&room, &trace, &placement);
+        let provisioned: Vec<Watts> = placed.racks().iter().map(|r| r.provisioned).collect();
+        let draws = RackPowerModel::default_microsoft().sample_room_at_utilization(
+            &provisioned,
+            Fraction::clamped(util),
+            &mut rng,
+        );
+        let registry = ImpactRegistry::from_scenario(
+            placed.racks().iter().map(|r| (r.deployment, r.category)),
+            &scenarios::realistic_1(),
+        );
+        let controller = Controller::new(
+            0,
+            room.topology().clone(),
+            placed.racks().to_vec(),
+            registry,
+            ControllerConfig::default(),
+        );
+        Fixture {
+            placed,
+            draws,
+            controller,
+        }
+    }
+
+    fn snapshots(f: &Fixture, feed: &FeedState) -> (TelemetryPayload, TelemetryPayload) {
+        let loads = f.placed.ups_loads(&f.draws, feed);
+        let ups = TelemetryPayload::UpsSnapshot(
+            f.placed
+                .room()
+                .topology()
+                .ups_ids()
+                .into_iter()
+                .map(|u| (u, loads.load(u)))
+                .collect(),
+        );
+        let racks = TelemetryPayload::RackSnapshot(
+            f.draws.iter().enumerate().map(|(i, &w)| (i, w)).collect(),
+        );
+        (ups, racks)
+    }
+
+    #[test]
+    fn healthy_room_produces_no_commands() {
+        let mut f = fixture(0.8);
+        let feed = FeedState::all_online(f.placed.room().topology());
+        let (ups, racks) = snapshots(&f, &feed);
+        let t = SimTime::from_secs_f64(1.0);
+        assert!(f.controller.on_delivery(t, &racks).is_empty());
+        assert!(f.controller.on_delivery(t, &ups).is_empty());
+        assert!(!f.controller.is_engaged());
+    }
+
+    #[test]
+    fn failover_triggers_actions_then_restore_after_hysteresis() {
+        let mut f = fixture(0.85);
+        let topo = f.placed.room().topology().clone();
+        let normal = FeedState::all_online(&topo);
+        let failed = FeedState::with_failed(&topo, [UpsId(0)]);
+
+        // Prime rack telemetry, then deliver the failover snapshot.
+        let (ups_ok, racks) = snapshots(&f, &normal);
+        let (ups_bad, _) = snapshots(&f, &failed);
+        let t1 = SimTime::from_secs_f64(1.0);
+        f.controller.on_delivery(t1, &racks);
+        f.controller.on_delivery(t1, &ups_ok);
+        let commands = f
+            .controller
+            .on_delivery(SimTime::from_secs_f64(2.0), &ups_bad);
+        assert!(!commands.is_empty(), "overdraw must trigger actions");
+        assert!(f.controller.is_engaged());
+        assert!(commands
+            .iter()
+            .all(|c| matches!(c, Command::Act { .. })));
+
+        // Redelivering the same overdraw produces no duplicate actions
+        // for the same racks (idempotency via the action log)…
+        let again = f
+            .controller
+            .on_delivery(SimTime::from_secs_f64(3.0), &ups_bad);
+        let firsts: std::collections::HashSet<RackId> = commands
+            .iter()
+            .map(|c| match c {
+                Command::Act { rack, .. } => *rack,
+                Command::Restore { rack } => *rack,
+            })
+            .collect();
+        for c in &again {
+            if let Command::Act { rack, .. } = c {
+                assert!(!firsts.contains(rack), "duplicate action on {rack}");
+            }
+        }
+
+        // Recovery: healthy snapshots must persist for the hysteresis
+        // before restores are issued.
+        let t_ok = SimTime::from_secs_f64(10.0);
+        let none_yet = f.controller.on_delivery(t_ok, &ups_ok);
+        assert!(none_yet.is_empty(), "no restore before hysteresis");
+        let t_late = t_ok + ControllerConfig::default().restore_hysteresis;
+        let restores = f.controller.on_delivery(t_late, &ups_ok);
+        assert!(!restores.is_empty(), "restore after hysteresis");
+        assert!(restores
+            .iter()
+            .all(|c| matches!(c, Command::Restore { .. })));
+        assert!(!f.controller.is_engaged());
+        assert!(f.controller.action_log().is_empty());
+    }
+
+    #[test]
+    fn stale_ups_data_is_treated_conservatively() {
+        let mut f = fixture(0.8);
+        let topo = f.placed.room().topology().clone();
+        let normal = FeedState::all_online(&topo);
+        let (ups_ok, racks) = snapshots(&f, &normal);
+        let t1 = SimTime::from_secs_f64(1.0);
+        f.controller.on_delivery(t1, &racks);
+        f.controller.on_delivery(t1, &ups_ok);
+        // Much later, a snapshot covering only UPS 0 arrives; the other
+        // three UPSes' readings are stale and assumed at capacity, so
+        // the controller acts.
+        let partial = TelemetryPayload::UpsSnapshot(vec![(UpsId(0), Watts::from_kw(900.0))]);
+        let t2 = SimTime::from_secs_f64(120.0);
+        let commands = f.controller.on_delivery(t2, &partial);
+        assert!(
+            !commands.is_empty(),
+            "missing data must be treated as overdraw (safety first)"
+        );
+    }
+
+    #[test]
+    fn enforcement_failure_allows_retry() {
+        let mut f = fixture(0.85);
+        let topo = f.placed.room().topology().clone();
+        let failed = FeedState::with_failed(&topo, [UpsId(0)]);
+        let (ups_bad, racks) = snapshots(&f, &failed);
+        let t = SimTime::from_secs_f64(1.0);
+        f.controller.on_delivery(t, &racks);
+        let commands = f.controller.on_delivery(t, &ups_bad);
+        let Command::Act { rack, .. } = commands[0] else {
+            panic!("expected an action");
+        };
+        assert!(f.controller.action_log().contains_key(&rack));
+        f.controller.on_enforcement_failed(rack);
+        assert!(!f.controller.action_log().contains_key(&rack));
+        // The same rack may be selected again on the next snapshot.
+        let retry = f
+            .controller
+            .on_delivery(SimTime::from_secs_f64(2.5), &ups_bad);
+        assert!(retry.iter().any(|c| matches!(c, Command::Act { rack: r, .. } if *r == rack)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-deployment impact functions.
+
+use std::collections::HashMap;
+
+use flex_power::Fraction;
+use flex_workload::impact::{ImpactFunction, ImpactScenario};
+use flex_workload::{DeploymentId, WorkloadCategory};
+
+/// Maps each deployment to its impact function; deployments without one
+/// fall back to the paper's default ordering: cap-able workloads are
+/// throttled before software-redundant workloads are shut down
+/// (Section IV-D, "in the absence of impact functions…").
+#[derive(Debug, Clone)]
+pub struct ImpactRegistry {
+    by_deployment: HashMap<DeploymentId, ImpactFunction>,
+    default_sr: ImpactFunction,
+    default_capable: ImpactFunction,
+}
+
+impl ImpactRegistry {
+    /// An empty registry with the paper's default ordering.
+    pub fn new() -> Self {
+        ImpactRegistry {
+            by_deployment: HashMap::new(),
+            // Shutting down unregistered software-redundant racks is a
+            // last-but-one resort (high constant impact, below critical).
+            default_sr: ImpactFunction::from_points(vec![(0.0, 0.9), (1.0, 0.95)])
+                .expect("static knots"),
+            // Throttling unregistered cap-able racks costs little and
+            // grows linearly.
+            default_capable: ImpactFunction::from_points(vec![(0.0, 0.0), (1.0, 0.5)])
+                .expect("static knots"),
+        }
+    }
+
+    /// Builds a registry assigning the scenario's category-level
+    /// functions to every deployment present in `categories`.
+    pub fn from_scenario<I>(deployments: I, scenario: &ImpactScenario) -> Self
+    where
+        I: IntoIterator<Item = (DeploymentId, WorkloadCategory)>,
+    {
+        let mut registry = ImpactRegistry::new();
+        for (id, category) in deployments {
+            match category {
+                WorkloadCategory::SoftwareRedundant => {
+                    registry.insert(id, scenario.software_redundant.clone());
+                }
+                WorkloadCategory::CapAble => {
+                    registry.insert(id, scenario.cap_able.clone());
+                }
+                WorkloadCategory::NonCapAble => {}
+            }
+        }
+        registry
+    }
+
+    /// Registers (or replaces) a deployment's impact function.
+    pub fn insert(&mut self, id: DeploymentId, f: ImpactFunction) {
+        self.by_deployment.insert(id, f);
+    }
+
+    /// Evaluates the impact of having `affected` of `total` racks of the
+    /// deployment acted on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0` or `affected > total`.
+    pub fn impact(
+        &self,
+        id: DeploymentId,
+        category: WorkloadCategory,
+        affected: usize,
+        total: usize,
+    ) -> f64 {
+        assert!(total > 0 && affected <= total, "bad affected/total counts");
+        let f = self.by_deployment.get(&id).unwrap_or(match category {
+            WorkloadCategory::SoftwareRedundant => &self.default_sr,
+            _ => &self.default_capable,
+        });
+        f.eval(Fraction::clamped(affected as f64 / total as f64))
+    }
+
+    /// Whether a deployment has an explicit function registered.
+    pub fn contains(&self, id: DeploymentId) -> bool {
+        self.by_deployment.contains_key(&id)
+    }
+}
+
+impl Default for ImpactRegistry {
+    fn default() -> Self {
+        ImpactRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex_workload::impact::scenarios;
+
+    #[test]
+    fn defaults_prefer_throttling_over_shutdown() {
+        let r = ImpactRegistry::new();
+        let sr = r.impact(DeploymentId(0), WorkloadCategory::SoftwareRedundant, 1, 10);
+        let cap = r.impact(DeploymentId(1), WorkloadCategory::CapAble, 1, 10);
+        assert!(
+            cap < sr,
+            "default must throttle cap-able ({cap}) before shutting down SR ({sr})"
+        );
+    }
+
+    #[test]
+    fn explicit_functions_override_defaults() {
+        let mut r = ImpactRegistry::new();
+        r.insert(DeploymentId(0), ImpactFunction::zero());
+        assert!(r.contains(DeploymentId(0)));
+        assert_eq!(
+            r.impact(DeploymentId(0), WorkloadCategory::SoftwareRedundant, 5, 10),
+            0.0
+        );
+    }
+
+    #[test]
+    fn from_scenario_assigns_by_category() {
+        let s = scenarios::extreme_1();
+        let deployments = vec![
+            (DeploymentId(0), WorkloadCategory::SoftwareRedundant),
+            (DeploymentId(1), WorkloadCategory::CapAble),
+            (DeploymentId(2), WorkloadCategory::NonCapAble),
+        ];
+        let r = ImpactRegistry::from_scenario(deployments, &s);
+        assert!(r.contains(DeploymentId(0)));
+        assert!(r.contains(DeploymentId(1)));
+        assert!(!r.contains(DeploymentId(2)));
+        // Extreme-1: SR shutdowns are free.
+        assert_eq!(
+            r.impact(DeploymentId(0), WorkloadCategory::SoftwareRedundant, 9, 10),
+            0.0
+        );
+        assert!(r.impact(DeploymentId(1), WorkloadCategory::CapAble, 1, 10) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad affected")]
+    fn impact_validates_counts() {
+        let r = ImpactRegistry::new();
+        let _ = r.impact(DeploymentId(0), WorkloadCategory::CapAble, 11, 10);
+    }
+}

@@ -1,0 +1,40 @@
+//! Flex-Online: runtime power management for zero-reserved-power rooms.
+//!
+//! When a UPS fails in a fully allocated room, the survivors carry up to
+//! 133% of rated load and will trip within seconds (Figure 6). Flex-Online
+//! must detect the overdraw from power telemetry alone and shed load below
+//! rated capacity inside that window, touching as few racks — and as
+//! low-impact racks — as possible. This crate implements:
+//!
+//! - [`policy`] — **Algorithm 1**: the greedy impact-function-driven
+//!   selection of racks to shut down (software-redundant) or throttle
+//!   (cap-able), with failover-state inference from UPS power readings;
+//! - [`ImpactRegistry`] — per-deployment impact functions with the
+//!   paper's default ordering (act on software-redundant workloads only
+//!   after cap-able ones) when none are registered;
+//! - [`Controller`] — a stateful multi-primary controller instance:
+//!   consumes telemetry deliveries, triggers decisions, tracks its action
+//!   log, and lifts actions once the failover clears (with hysteresis);
+//! - [`Actuator`] — the out-of-band rack-manager/BMC path: latency,
+//!   unreachability, idempotent command application;
+//! - [`prober::Prober`] — the background firmware/reachability monitor
+//!   from the production-lessons section (VI);
+//! - [`sim`] — the integrated discrete-event room simulation that wires
+//!   placement, telemetry, controllers, actuation, and the UPS overload
+//!   accumulators together (the engine behind the Figure 13 end-to-end
+//!   experiment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actuation;
+mod controller;
+mod impact_registry;
+pub mod policy;
+pub mod prober;
+pub mod sim;
+
+pub use actuation::{Actuator, ActuatorConfig, RackPowerState};
+pub use controller::{Command, Controller, ControllerConfig};
+pub use impact_registry::ImpactRegistry;
+pub use policy::{Action, ActionKind, ActionSummary, DecisionInput, DecisionOutcome, PolicyConfig};

@@ -1,0 +1,631 @@
+//! The integrated room simulation: placement + telemetry + controllers +
+//! actuation + UPS overload physics on one deterministic event loop.
+//!
+//! This is the engine behind the paper's end-to-end experiment (Figure
+//! 13) and the §VI latency measurements: a placed room runs synthetic
+//! demand, a scripted UPS failure transfers load, the telemetry pipeline
+//! carries the overdraw to the controllers, Algorithm 1 picks corrective
+//! actions, the rack managers enforce them — all racing the UPS overload
+//! accumulators, which will trip survivors and cascade the room to
+//! blackout if shedding arrives too late.
+
+use flex_placement::{PlacedRack, PlacedRoom, RackId};
+use flex_power::meter::GroundTruth;
+use flex_power::trip_curve::{OverloadAccumulator, TripCurve};
+use flex_power::{FeedState, LoadModel, Topology, UpsId, Watts};
+use flex_sim::rng::RngPool;
+use flex_sim::stats::{Percentiles, TimeSeries};
+use flex_sim::{Ctx, Sim, SimDuration, SimTime};
+use flex_telemetry::{Pipeline, PipelineConfig};
+use rand::rngs::SmallRng;
+
+use crate::{
+    Actuator, ActuatorConfig, Command, Controller, ControllerConfig, ImpactRegistry,
+    RackPowerState,
+};
+
+/// Per-rack demand source: what the rack *wants* to draw at a given time
+/// (the actuator then caps or zeroes it).
+pub type DemandFn = Box<dyn FnMut(&PlacedRack, SimTime, &mut SmallRng) -> Watts>;
+
+/// Room simulation configuration.
+pub struct RoomSimConfig {
+    /// Telemetry pipeline parameters.
+    pub pipeline: PipelineConfig,
+    /// Controller parameters (shared by all instances).
+    pub controller: ControllerConfig,
+    /// Actuation parameters.
+    pub actuator: ActuatorConfig,
+    /// Number of multi-primary controller instances.
+    pub controllers: usize,
+    /// How often rack demand is re-sampled.
+    pub demand_update_interval: SimDuration,
+    /// How often the power series are recorded.
+    pub stats_interval: SimDuration,
+    /// Resolution of the UPS overload integration.
+    pub overload_step: SimDuration,
+    /// UPS overload tolerance curve.
+    pub trip_curve: TripCurve,
+    /// Damage recovery time at tolerable load (seconds).
+    pub damage_recovery_secs: f64,
+    /// Root seed for all stochastic components.
+    pub seed: u64,
+}
+
+impl Default for RoomSimConfig {
+    fn default() -> Self {
+        RoomSimConfig {
+            pipeline: PipelineConfig::production(),
+            controller: ControllerConfig::default(),
+            actuator: ActuatorConfig::default(),
+            controllers: 3,
+            demand_update_interval: SimDuration::from_secs(5),
+            stats_interval: SimDuration::from_secs(1),
+            overload_step: SimDuration::from_millis(250),
+            trip_curve: TripCurve::end_of_life(),
+            damage_recovery_secs: 60.0,
+            seed: 0xF1EC,
+        }
+    }
+}
+
+/// Notable events recorded during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// A scripted UPS failure.
+    UpsFailed(UpsId),
+    /// A scripted UPS restoration.
+    UpsRestored(UpsId),
+    /// A UPS tripped from sustained overload (cascade!).
+    UpsTripped(UpsId),
+    /// A controller issued its first corrective command of an episode.
+    FirstCommand {
+        /// The issuing controller.
+        controller: usize,
+    },
+    /// A corrective/restore command took effect on a rack.
+    Applied {
+        /// The rack affected.
+        rack: RackId,
+        /// Its new state.
+        state: RackPowerState,
+    },
+}
+
+/// Statistics collected during a run.
+pub struct RoomStats {
+    /// Per-UPS power as a fraction of capacity, over time.
+    pub ups_fraction: Vec<TimeSeries>,
+    /// Total effective rack power over time (watts).
+    pub total_power: TimeSeries,
+    /// Event log.
+    pub events: Vec<(SimTime, SimEvent)>,
+    /// Latency from command submission to enforcement.
+    pub action_latency: Percentiles,
+    /// Detection latency: scripted failure → first command issued.
+    pub detection_latency: Vec<SimDuration>,
+}
+
+impl RoomStats {
+    fn new(ups_count: usize) -> Self {
+        RoomStats {
+            ups_fraction: (0..ups_count).map(|_| TimeSeries::new()).collect(),
+            total_power: TimeSeries::new(),
+            events: Vec::new(),
+            action_latency: Percentiles::new(),
+            detection_latency: Vec::new(),
+        }
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count_events<F: Fn(&SimEvent) -> bool>(&self, f: F) -> usize {
+        self.events.iter().filter(|(_, e)| f(e)).count()
+    }
+
+    /// True if any UPS tripped from overload (safety violated).
+    pub fn cascaded(&self) -> bool {
+        self.count_events(|e| matches!(e, SimEvent::UpsTripped(_))) > 0
+    }
+}
+
+/// The simulation world.
+pub struct RoomWorld {
+    topo: Topology,
+    racks: Vec<PlacedRack>,
+    demand_fn: DemandFn,
+    demand: Vec<Watts>,
+    pipeline: Pipeline,
+    controllers: Vec<Controller>,
+    actuator: Actuator,
+    feed: FeedState,
+    accumulators: Vec<OverloadAccumulator>,
+    rng: SmallRng,
+    /// Time of the most recent scripted failure with no command yet.
+    pending_detection: Option<SimTime>,
+    /// Statistics.
+    pub stats: RoomStats,
+}
+
+impl RoomWorld {
+    /// The effective power drawn by each rack right now.
+    pub fn effective_rack_power(&self) -> Vec<Watts> {
+        self.racks
+            .iter()
+            .map(|r| {
+                // A rack whose PDU-pair lost both feeds draws nothing.
+                let pair = self
+                    .topo
+                    .pdu_pair(r.pdu_pair)
+                    .expect("rack pair in topology");
+                if self.feed.pair_feed(pair) == flex_power::PairFeed::Dead {
+                    return Watts::ZERO;
+                }
+                self.actuator
+                    .effective_power(r.id, self.demand[r.id.0], r.flex_power)
+            })
+            .collect()
+    }
+
+    /// The current per-UPS loads.
+    pub fn ups_loads(&self) -> flex_power::UpsLoads {
+        let powers = self.effective_rack_power();
+        let mut model = LoadModel::new(&self.topo);
+        for (r, &p) in self.racks.iter().zip(&powers) {
+            model
+                .add_pair_load(r.pdu_pair, p)
+                .expect("rack pair in topology");
+        }
+        model.ups_loads(&self.feed)
+    }
+
+    /// Current rack states (index = rack id).
+    pub fn rack_states(&self) -> &[RackPowerState] {
+        self.actuator.states()
+    }
+
+    /// The actual electrical feed state.
+    pub fn feed(&self) -> &FeedState {
+        &self.feed
+    }
+
+    /// The rack demand vector (unconstrained draw).
+    pub fn demand(&self) -> &[Watts] {
+        &self.demand
+    }
+
+    fn resample_demand(&mut self, now: SimTime) {
+        for i in 0..self.racks.len() {
+            self.demand[i] = (self.demand_fn)(&self.racks[i], now, &mut self.rng);
+        }
+    }
+
+    fn handle_commands(
+        &mut self,
+        now: SimTime,
+        controller_idx: usize,
+        commands: Vec<Command>,
+        ctx: &mut Ctx<RoomWorld>,
+    ) {
+        if !commands.is_empty() {
+            if let Some(failed_at) = self.pending_detection.take() {
+                self.stats
+                    .detection_latency
+                    .push(now.saturating_since(failed_at));
+                self.stats
+                    .events
+                    .push((now, SimEvent::FirstCommand { controller: controller_idx }));
+            }
+        }
+        for cmd in commands {
+            let pending = match cmd {
+                Command::Act { rack, kind } => self.actuator.submit_action(now, rack, kind),
+                Command::Restore { rack } => self.actuator.submit_restore(now, rack),
+            };
+            match pending {
+                Some(p) => {
+                    self.stats
+                        .action_latency
+                        .record((p.apply_at - now).as_secs_f64());
+                    ctx.schedule_at(p.apply_at, move |w: &mut RoomWorld, _| {
+                        w.actuator.apply(&p);
+                        w.stats.events.push((
+                            p.apply_at,
+                            SimEvent::Applied {
+                                rack: p.rack,
+                                state: p.new_state,
+                            },
+                        ));
+                    });
+                }
+                None => {
+                    let rack = match cmd {
+                        Command::Act { rack, .. } | Command::Restore { rack } => rack,
+                    };
+                    self.controllers[controller_idx].on_enforcement_failed(rack);
+                }
+            }
+        }
+    }
+}
+
+/// The room simulation driver.
+pub struct RoomSim {
+    sim: Sim<RoomWorld>,
+}
+
+impl RoomSim {
+    /// Builds a simulation over a placed room.
+    pub fn new(
+        placed: &PlacedRoom,
+        registry: ImpactRegistry,
+        mut demand_fn: DemandFn,
+        config: RoomSimConfig,
+    ) -> Self {
+        let topo = placed.room().topology().clone();
+        let racks = placed.racks().to_vec();
+        let pool = RngPool::new(config.seed);
+        let pipeline = Pipeline::new(config.pipeline.clone(), topo.ups_count(), racks.len(), &pool);
+        let controllers = (0..config.controllers)
+            .map(|i| {
+                Controller::new(
+                    i,
+                    topo.clone(),
+                    racks.clone(),
+                    registry.clone(),
+                    config.controller,
+                )
+            })
+            .collect();
+        let actuator = Actuator::new(racks.len(), config.actuator, &pool);
+        let accumulators = (0..topo.ups_count())
+            .map(|_| OverloadAccumulator::new(config.trip_curve.clone(), config.damage_recovery_secs))
+            .collect();
+        let mut rng = pool.stream("demand");
+        let demand: Vec<Watts> = racks
+            .iter()
+            .map(|r| demand_fn(r, SimTime::ZERO, &mut rng))
+            .collect();
+        let feed = FeedState::all_online(&topo);
+        let stats = RoomStats::new(topo.ups_count());
+        let world = RoomWorld {
+            topo,
+            racks,
+            demand_fn,
+            demand,
+            pipeline,
+            controllers,
+            actuator,
+            feed,
+            accumulators,
+            rng,
+            pending_detection: None,
+            stats,
+        };
+        let mut sim = Sim::new(world);
+
+        // Recurring ticks.
+        let ups_interval = config.pipeline.ups_poll_interval;
+        fn ups_tick(interval: SimDuration) -> impl FnMut(&mut RoomWorld, &mut Ctx<RoomWorld>) {
+            move |w, ctx| {
+                let now = ctx.now();
+                let loads = w.ups_loads();
+                let truth = GroundTruth::from_loads(loads);
+                let deliveries = w.pipeline.poll_upses(now, &truth);
+                for d in deliveries {
+                    let payload = d.payload.clone();
+                    let arrive = d.arrive_at;
+                    ctx.schedule_at(arrive, move |w: &mut RoomWorld, ctx| {
+                        for i in 0..w.controllers.len() {
+                            let commands = w.controllers[i].on_delivery(arrive, &payload);
+                            w.handle_commands(arrive, i, commands, ctx);
+                        }
+                    });
+                }
+                let interval2 = interval;
+                ctx.schedule_in(interval, move |w, ctx| ups_tick(interval2)(w, ctx));
+            }
+        }
+        sim.schedule_at(SimTime::ZERO, {
+            let mut tick = ups_tick(ups_interval);
+            move |w: &mut RoomWorld, ctx| tick(w, ctx)
+        });
+
+        let rack_interval = config.pipeline.rack_poll_interval;
+        fn rack_tick(interval: SimDuration) -> impl FnMut(&mut RoomWorld, &mut Ctx<RoomWorld>) {
+            move |w, ctx| {
+                let now = ctx.now();
+                let powers = w.effective_rack_power();
+                let deliveries = w.pipeline.poll_racks(now, &powers);
+                for d in deliveries {
+                    let payload = d.payload.clone();
+                    let arrive = d.arrive_at;
+                    ctx.schedule_at(arrive, move |w: &mut RoomWorld, ctx| {
+                        for i in 0..w.controllers.len() {
+                            let commands = w.controllers[i].on_delivery(arrive, &payload);
+                            w.handle_commands(arrive, i, commands, ctx);
+                        }
+                    });
+                }
+                let interval2 = interval;
+                ctx.schedule_in(interval, move |w, ctx| rack_tick(interval2)(w, ctx));
+            }
+        }
+        sim.schedule_at(SimTime::from_nanos(1), {
+            let mut tick = rack_tick(rack_interval);
+            move |w: &mut RoomWorld, ctx| tick(w, ctx)
+        });
+
+        let demand_interval = config.demand_update_interval;
+        fn demand_tick(interval: SimDuration) -> impl FnMut(&mut RoomWorld, &mut Ctx<RoomWorld>) {
+            move |w, ctx| {
+                w.resample_demand(ctx.now());
+                let interval2 = interval;
+                ctx.schedule_in(interval, move |w, ctx| demand_tick(interval2)(w, ctx));
+            }
+        }
+        sim.schedule_at(SimTime::from_nanos(2), {
+            let mut tick = demand_tick(demand_interval);
+            move |w: &mut RoomWorld, ctx| tick(w, ctx)
+        });
+
+        let overload_step = config.overload_step;
+        fn overload_tick(step: SimDuration) -> impl FnMut(&mut RoomWorld, &mut Ctx<RoomWorld>) {
+            move |w, ctx| {
+                let now = ctx.now();
+                let loads = w.ups_loads();
+                let dt = step.as_secs_f64();
+                let mut tripped = Vec::new();
+                for u in w.topo.upses() {
+                    let id = u.id();
+                    if !w.feed.is_online(id) {
+                        continue;
+                    }
+                    let fraction = loads.load(id) / u.capacity();
+                    if w.accumulators[id.0].advance(dt, fraction) {
+                        tripped.push(id);
+                    }
+                }
+                for id in tripped {
+                    w.feed.fail(id).expect("tripping known UPS");
+                    w.stats.events.push((now, SimEvent::UpsTripped(id)));
+                }
+                let step2 = step;
+                ctx.schedule_in(step, move |w, ctx| overload_tick(step2)(w, ctx));
+            }
+        }
+        sim.schedule_at(SimTime::from_nanos(3), {
+            let mut tick = overload_tick(overload_step);
+            move |w: &mut RoomWorld, ctx| tick(w, ctx)
+        });
+
+        let stats_interval = config.stats_interval;
+        fn stats_tick(interval: SimDuration) -> impl FnMut(&mut RoomWorld, &mut Ctx<RoomWorld>) {
+            move |w, ctx| {
+                let now = ctx.now();
+                let loads = w.ups_loads();
+                for u in w.topo.upses() {
+                    let f = loads.load(u.id()) / u.capacity();
+                    w.stats.ups_fraction[u.id().0].record(now, f);
+                }
+                w.stats.total_power.record(now, loads.total().as_w());
+                let interval2 = interval;
+                ctx.schedule_in(interval, move |w, ctx| stats_tick(interval2)(w, ctx));
+            }
+        }
+        sim.schedule_at(SimTime::from_nanos(4), {
+            let mut tick = stats_tick(stats_interval);
+            move |w: &mut RoomWorld, ctx| tick(w, ctx)
+        });
+
+        RoomSim { sim }
+    }
+
+    /// Schedules a UPS failure (out of service) at `t`.
+    pub fn fail_ups_at(&mut self, t: SimTime, ups: UpsId) {
+        self.sim.schedule_at(t, move |w: &mut RoomWorld, _| {
+            w.feed.fail(ups).expect("scripted failure of known UPS");
+            w.pending_detection = Some(t);
+            w.stats.events.push((t, SimEvent::UpsFailed(ups)));
+        });
+    }
+
+    /// Schedules a UPS restoration at `t`.
+    pub fn restore_ups_at(&mut self, t: SimTime, ups: UpsId) {
+        self.sim.schedule_at(t, move |w: &mut RoomWorld, _| {
+            w.feed.restore(ups).expect("scripted restore of known UPS");
+            w.accumulators[ups.0].reset();
+            w.pending_detection = None;
+            w.stats.events.push((t, SimEvent::UpsRestored(ups)));
+        });
+    }
+
+    /// Runs until the given virtual time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Access to the world (between events).
+    pub fn world(&self) -> &RoomWorld {
+        self.sim.world()
+    }
+
+    /// Mutable access to the world (fault-plan injection etc.).
+    pub fn world_mut(&mut self) -> &mut RoomWorld {
+        self.sim.world_mut()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+impl RoomWorld {
+    /// Attaches a fault plan to the telemetry pipeline.
+    pub fn set_pipeline_fault_plan(&mut self, plan: flex_sim::fault::FaultPlan) {
+        self.pipeline.set_fault_plan(plan);
+    }
+
+    /// Attaches a fault plan to the actuation path.
+    pub fn set_actuator_fault_plan(&mut self, plan: flex_sim::fault::FaultPlan) {
+        self.actuator.set_fault_plan(plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex_placement::policies::{BalancedRoundRobin, PlacementPolicy};
+    use flex_placement::RoomConfig;
+    use flex_workload::impact::scenarios;
+    use flex_workload::trace::{TraceConfig, TraceGenerator};
+    use flex_workload::WorkloadCategory;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build_sim(util: f64, seed: u64) -> RoomSim {
+        let room = RoomConfig::paper_emulation_room().build().unwrap();
+        let config = TraceConfig::microsoft(Watts::from_mw(4.8));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trace = TraceGenerator::new(config).generate(&mut rng);
+        let placement = BalancedRoundRobin.place(&room, &trace, &mut rng);
+        let placed = PlacedRoom::materialize(&room, &trace, &placement);
+        let registry = ImpactRegistry::from_scenario(
+            placed.racks().iter().map(|r| (r.deployment, r.category)),
+            &scenarios::realistic_1(),
+        );
+        let demand: DemandFn = Box::new(move |rack, _, rng| {
+            rack.provisioned * rng.gen_range((util - 0.03)..(util + 0.03))
+        });
+        RoomSim::new(&placed, registry, demand, RoomSimConfig::default())
+    }
+
+    #[test]
+    fn steady_state_stays_quiet() {
+        let mut sim = build_sim(0.80, 31);
+        sim.run_until(SimTime::from_secs_f64(60.0));
+        let w = sim.world();
+        assert!(!w.stats.cascaded());
+        assert_eq!(
+            w.stats
+                .count_events(|e| matches!(e, SimEvent::Applied { .. })),
+            0,
+            "no actions in steady state"
+        );
+        // UPS fractions around 80%.
+        let f = w.stats.ups_fraction[0]
+            .value_at(SimTime::from_secs_f64(50.0))
+            .unwrap();
+        assert!((0.7..0.9).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn failover_is_detected_and_contained_within_tolerance() {
+        let mut sim = build_sim(0.80, 32);
+        sim.fail_ups_at(SimTime::from_secs_f64(30.0), UpsId(0));
+        sim.run_until(SimTime::from_secs_f64(120.0));
+        let w = sim.world();
+        // Safety: no cascade at 80% utilization.
+        assert!(!w.stats.cascaded(), "events: {:?}", w.stats.events);
+        // The controllers acted.
+        let applied = w
+            .stats
+            .count_events(|e| matches!(e, SimEvent::Applied { .. }));
+        assert!(applied > 0, "expected corrective actions");
+        // Detection within the paper's end-to-end budget (10 s); in
+        // practice ~2-4 s with these telemetry settings.
+        let detect = w.stats.detection_latency[0];
+        assert!(
+            detect <= SimDuration::from_secs(10),
+            "detection took {detect}"
+        );
+        // Power is back under every surviving UPS's capacity at the end.
+        let loads = w.ups_loads();
+        for u in w.topo.upses() {
+            if w.feed.is_online(u.id()) {
+                assert!(
+                    !loads.load(u.id()).exceeds(u.capacity()),
+                    "{} still overloaded",
+                    u.id()
+                );
+            }
+        }
+        // Only legal actions were taken.
+        for (_, e) in &w.stats.events {
+            if let SimEvent::Applied { rack, state } = e {
+                let category = w.racks[rack.0].category;
+                match state {
+                    RackPowerState::Off => {
+                        assert_eq!(category, WorkloadCategory::SoftwareRedundant)
+                    }
+                    RackPowerState::Throttled => assert_eq!(category, WorkloadCategory::CapAble),
+                    RackPowerState::Normal => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_restores_racks_after_hysteresis() {
+        let mut sim = build_sim(0.80, 33);
+        sim.fail_ups_at(SimTime::from_secs_f64(30.0), UpsId(1));
+        sim.restore_ups_at(SimTime::from_secs_f64(120.0), UpsId(1));
+        sim.run_until(SimTime::from_secs_f64(400.0));
+        let w = sim.world();
+        assert!(!w.stats.cascaded());
+        // Some restores were applied after the hysteresis.
+        let restores = w.stats.count_events(|e| {
+            matches!(
+                e,
+                SimEvent::Applied {
+                    state: RackPowerState::Normal,
+                    ..
+                }
+            )
+        });
+        assert!(restores > 0, "expected restorations");
+        // Eventually every rack is back to normal.
+        assert!(
+            w.rack_states()
+                .iter()
+                .all(|s| *s == RackPowerState::Normal),
+            "all racks restored"
+        );
+    }
+
+    #[test]
+    fn full_utilization_failover_without_flex_cascades() {
+        // Ablation: disable the controllers (none) and fail a UPS at
+        // ~100% utilization; the survivors trip one after another.
+        let room = RoomConfig::paper_emulation_room().build().unwrap();
+        let config = TraceConfig::microsoft(Watts::from_mw(4.8));
+        let mut rng = SmallRng::seed_from_u64(34);
+        let trace = TraceGenerator::new(config).generate(&mut rng);
+        let placement = BalancedRoundRobin.place(&room, &trace, &mut rng);
+        let placed = PlacedRoom::materialize(&room, &trace, &placement);
+        let registry = ImpactRegistry::new();
+        let demand: DemandFn = Box::new(|rack, _, _| rack.provisioned);
+        let sim_config = RoomSimConfig {
+            controllers: 0,
+            ..RoomSimConfig::default()
+        };
+        let mut sim = RoomSim::new(&placed, registry, demand, sim_config);
+        sim.fail_ups_at(SimTime::from_secs_f64(10.0), UpsId(0));
+        sim.run_until(SimTime::from_secs_f64(120.0));
+        assert!(
+            sim.world().stats.cascaded(),
+            "unmitigated 100% failover must cascade"
+        );
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = |seed| {
+            let mut sim = build_sim(0.8, seed);
+            sim.fail_ups_at(SimTime::from_secs_f64(30.0), UpsId(0));
+            sim.run_until(SimTime::from_secs_f64(90.0));
+            sim.world().stats.events.clone()
+        };
+        assert_eq!(run(35), run(35));
+    }
+}

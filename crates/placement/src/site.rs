@@ -1,0 +1,229 @@
+//! Multi-room sites.
+//!
+//! A datacenter *site* (the paper's 128 MW unit) comprises many rooms with
+//! isolated power hierarchies (Section II-A); demand that cannot be placed
+//! in one room "can be routed to other rooms for placement" (Section V-A).
+//! [`Site`] models that routing: each room is filled by the chosen policy
+//! in turn, and rejected deployments cascade to the next room.
+
+use flex_power::Watts;
+use flex_workload::trace::DemandTrace;
+use flex_workload::DeploymentId;
+use rand::Rng;
+
+use crate::policies::{replay, PlacementPolicy};
+use crate::{Placement, Room, RoomConfig, RoomState};
+
+/// A placement decision at site scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SitePlacement {
+    /// Per-room placements (index = room).
+    pub rooms: Vec<Placement>,
+    /// Deployments no room could take.
+    pub unplaced: Vec<DeploymentId>,
+}
+
+impl SitePlacement {
+    /// The room a deployment landed in, if any.
+    pub fn room_of(&self, id: DeploymentId) -> Option<usize> {
+        self.rooms
+            .iter()
+            .position(|p| p.pair_of(id).is_some())
+    }
+
+    /// Total accepted deployments across rooms.
+    pub fn accepted_count(&self) -> usize {
+        self.rooms.iter().map(|p| p.accepted_count()).sum()
+    }
+}
+
+/// A site: several independent rooms.
+#[derive(Debug, Clone)]
+pub struct Site {
+    rooms: Vec<Room>,
+}
+
+impl Site {
+    /// Builds a site of `count` identical rooms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates room construction errors.
+    pub fn uniform(config: &RoomConfig, count: usize) -> Result<Site, flex_power::PowerError> {
+        let rooms = (0..count)
+            .map(|_| config.build())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Site { rooms })
+    }
+
+    /// The rooms.
+    pub fn rooms(&self) -> &[Room] {
+        &self.rooms
+    }
+
+    /// Total provisioned power across rooms.
+    pub fn provisioned_power(&self) -> Watts {
+        self.rooms.iter().map(|r| r.provisioned_power()).sum()
+    }
+
+    /// Places a demand trace across the site: the policy fills each room
+    /// in turn; a room's rejects become the next room's demand. Ordering
+    /// within the rejected set is preserved (arrival order matters to
+    /// batching policies).
+    pub fn place<P: PlacementPolicy, R: Rng + ?Sized>(
+        &self,
+        policy: &P,
+        trace: &DemandTrace,
+        rng: &mut R,
+    ) -> SitePlacement {
+        let mut placements = Vec::with_capacity(self.rooms.len());
+        let mut remaining = trace.clone();
+        // Track the original ids: each room sees a renumbered trace, so
+        // translate its decisions back through this map.
+        let mut id_map: Vec<DeploymentId> = trace.deployments().iter().map(|d| d.id()).collect();
+        for room in &self.rooms {
+            if remaining.is_empty() {
+                placements.push(Placement {
+                    assignments: Vec::new(),
+                    rejected: Vec::new(),
+                });
+                continue;
+            }
+            let placement = policy.place(room, &remaining, rng);
+            // Split into accepted (translated) and the next room's demand.
+            let mut accepted = Vec::new();
+            let mut next_deployments = Vec::new();
+            let mut next_ids = Vec::new();
+            for d in remaining.deployments() {
+                match placement.pair_of(d.id()) {
+                    Some(pair) => accepted.push((id_map[d.id().0], pair)),
+                    None => {
+                        next_deployments.push(d.clone());
+                        next_ids.push(id_map[d.id().0]);
+                    }
+                }
+            }
+            placements.push(Placement {
+                assignments: accepted,
+                rejected: Vec::new(),
+            });
+            remaining = DemandTrace::from_deployments(next_deployments);
+            id_map = next_ids;
+        }
+        SitePlacement {
+            rooms: placements,
+            unplaced: id_map
+                .into_iter()
+                .take(remaining.len())
+                .collect(),
+        }
+    }
+
+    /// Site-wide stranded power for a placement: provisioned minus
+    /// allocated, summed over rooms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement references deployments missing from the
+    /// trace or violates safety (placements from [`Site::place`] never
+    /// do).
+    pub fn stranded_power(&self, trace: &DemandTrace, placement: &SitePlacement) -> Watts {
+        self.rooms
+            .iter()
+            .zip(&placement.rooms)
+            .map(|(room, p)| replay_site_room(room, trace, p).stranded_power())
+            .sum()
+    }
+}
+
+/// Replays one room's share of a site placement (ids are in the original
+/// trace's namespace).
+fn replay_site_room(room: &Room, trace: &DemandTrace, placement: &Placement) -> RoomState {
+    replay(room, trace, placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::BalancedRoundRobin;
+    use flex_workload::trace::{TraceConfig, TraceGenerator};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn site_and_trace(rooms: usize, demand_factor: f64) -> (Site, DemandTrace) {
+        let config = RoomConfig::paper_placement_room();
+        let site = Site::uniform(&config, rooms).unwrap();
+        let trace_config = TraceConfig {
+            target_power: site.provisioned_power() * demand_factor,
+            ..TraceConfig::microsoft(Watts::from_mw(9.6))
+        };
+        let mut rng = SmallRng::seed_from_u64(404);
+        let trace = TraceGenerator::new(trace_config).generate(&mut rng);
+        (site, trace)
+    }
+
+    #[test]
+    fn overflow_routes_to_later_rooms() {
+        let (site, trace) = site_and_trace(3, 0.9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let placement = site.place(&BalancedRoundRobin, &trace, &mut rng);
+        // Demand at 90% of three rooms: everything should land somewhere.
+        assert!(
+            placement.unplaced.len() <= trace.len() / 10,
+            "{} of {} unplaced",
+            placement.unplaced.len(),
+            trace.len()
+        );
+        // Later rooms actually received overflow.
+        assert!(placement.rooms[1].accepted_count() > 0);
+        // Every accepted deployment is in exactly one room.
+        for d in trace.deployments() {
+            let homes = placement
+                .rooms
+                .iter()
+                .filter(|p| p.pair_of(d.id()).is_some())
+                .count();
+            assert!(homes <= 1, "{} placed in {homes} rooms", d.id());
+        }
+        // Accounting adds up.
+        assert_eq!(
+            placement.accepted_count() + placement.unplaced.len(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn per_room_placements_are_safe() {
+        let (site, trace) = site_and_trace(2, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let placement = site.place(&BalancedRoundRobin, &trace, &mut rng);
+        for (room, p) in site.rooms().iter().zip(&placement.rooms) {
+            let state = replay(room, &trace, p);
+            assert!(state.verify_safety(trace.deployments()).is_empty());
+        }
+        let stranded = site.stranded_power(&trace, &placement);
+        let fraction = stranded / site.provisioned_power();
+        assert!(fraction < 0.25, "site stranded {fraction}");
+    }
+
+    #[test]
+    fn oversized_demand_reports_unplaced() {
+        let (site, trace) = site_and_trace(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let placement = site.place(&BalancedRoundRobin, &trace, &mut rng);
+        assert!(!placement.unplaced.is_empty(), "2× demand cannot all fit");
+        for id in &placement.unplaced {
+            assert!(placement.room_of(*id).is_none());
+        }
+    }
+
+    #[test]
+    fn empty_site_edge() {
+        let site = Site::uniform(&RoomConfig::paper_emulation_room(), 0).unwrap();
+        let (_, trace) = site_and_trace(1, 0.5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let placement = site.place(&BalancedRoundRobin, &trace, &mut rng);
+        assert_eq!(placement.accepted_count(), 0);
+        assert_eq!(placement.unplaced.len(), trace.len());
+    }
+}

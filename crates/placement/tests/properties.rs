@@ -1,0 +1,187 @@
+//! Property tests for placement invariants.
+
+use flex_placement::policies::{
+    replay, BalancedRoundRobin, FirstFit, PlacementPolicy, Random,
+};
+use flex_placement::{lns, RoomConfig, RoomState};
+use flex_power::{Fraction, Watts};
+use flex_workload::trace::{TraceConfig, TraceGenerator};
+use flex_workload::{DeploymentId, DeploymentRequest, WorkloadCategory};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_mix() -> impl Strategy<Value = [f64; 3]> {
+    (0.0f64..0.4, 0.1f64..0.5).prop_map(|(sr, non)| {
+        let cap = (1.0 - sr - non).max(0.0);
+        let sum = sr + cap + non;
+        [sr / sum, cap / sum, non / sum]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every simple policy produces a placement that the independent
+    /// safety checker accepts, for any seed and category mix.
+    #[test]
+    fn simple_policies_always_safe(seed in 0u64..100_000, mix in arb_mix()) {
+        let room = RoomConfig::paper_placement_room().build().unwrap();
+        let config = TraceConfig::microsoft(room.provisioned_power()).with_category_mix(mix);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trace = TraceGenerator::new(config).generate(&mut rng);
+        for policy_idx in 0..3 {
+            let placement = match policy_idx {
+                0 => Random.place(&room, &trace, &mut rng),
+                1 => FirstFit.place(&room, &trace, &mut rng),
+                _ => BalancedRoundRobin.place(&room, &trace, &mut rng),
+            };
+            let state = replay(&room, &trace, &placement);
+            let violations = state.verify_safety(trace.deployments());
+            prop_assert!(violations.is_empty(), "policy {policy_idx}: {violations:?}");
+            prop_assert_eq!(
+                placement.assignments.len() + placement.rejected.len(),
+                trace.len()
+            );
+        }
+    }
+
+    /// unplace() exactly reverses place(): after placing and removing a
+    /// random subset, the state's accounting matches a fresh replay of
+    /// the survivors.
+    #[test]
+    fn unplace_is_exact_inverse(seed in 0u64..100_000, keep_mask in 0u32..u32::MAX) {
+        let room = RoomConfig::paper_placement_room().build().unwrap();
+        let config = TraceConfig::microsoft(room.provisioned_power());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trace = TraceGenerator::new(config).generate(&mut rng);
+        let placement = BalancedRoundRobin.place(&room, &trace, &mut rng);
+        let mut state = replay(&room, &trace, &placement);
+        // Remove a pseudo-random subset.
+        let mut survivors = Vec::new();
+        for (i, &(id, pair)) in placement.assignments.iter().enumerate() {
+            let d = trace.deployments().iter().find(|d| d.id() == id).unwrap();
+            if keep_mask & (1 << (i % 32)) == 0 {
+                state.unplace(d, pair);
+            } else {
+                survivors.push((id, pair));
+            }
+        }
+        // Rebuild from scratch with only the survivors.
+        let mut fresh = RoomState::new(&room);
+        for &(id, pair) in &survivors {
+            let d = trace.deployments().iter().find(|d| d.id() == id).unwrap();
+            fresh.place(d, pair);
+        }
+        prop_assert!(state.total_allocated().approx_eq(fresh.total_allocated(), 1e-3));
+        for u in room.topology().ups_ids() {
+            prop_assert!(state.ups_allocated(u).approx_eq(fresh.ups_allocated(u), 1e-3));
+            for f in room.topology().ups_ids() {
+                if u == f { continue; }
+                prop_assert!(state
+                    .failover_cap_load(u, f)
+                    .approx_eq(fresh.failover_cap_load(u, f), 1e-3));
+                prop_assert!(state
+                    .failover_full_load(u, f)
+                    .approx_eq(fresh.failover_full_load(u, f), 1e-3));
+            }
+        }
+        for p in room.topology().pdu_pairs() {
+            prop_assert_eq!(state.free_slots(p.id()), fresh.free_slots(p.id()));
+        }
+    }
+
+    /// The LNS refine step always returns a safe assignment and never
+    /// returns less placed power than its initial assignment.
+    #[test]
+    fn lns_refine_safe_and_monotone(seed in 0u64..100_000) {
+        let room = RoomConfig::paper_placement_room().build().unwrap();
+        let config = TraceConfig::microsoft(room.provisioned_power());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trace = TraceGenerator::new(config).generate(&mut rng);
+        let batch: Vec<DeploymentRequest> = trace.deployments().to_vec();
+        let base = RoomState::new(&room);
+        let refined = lns::refine(
+            &base,
+            &batch,
+            &[],
+            &lns::LnsConfig { iterations: 300, max_ruin: 3 },
+            &mut rng,
+        );
+        let mut state = RoomState::new(&room);
+        for &(di, p) in &refined {
+            prop_assert!(state.fits(&batch[di], p), "unsafe LNS assignment");
+            state.place(&batch[di], p);
+        }
+        prop_assert!(state.verify_safety(&batch).is_empty());
+        // Dense enough to be useful.
+        let stranded = state.stranded_power() / room.provisioned_power();
+        prop_assert!(stranded < 0.15, "LNS stranded {stranded}");
+    }
+
+    /// The rebalance pass never changes placed power or violates safety.
+    #[test]
+    fn rebalance_is_power_neutral_and_safe(seed in 0u64..100_000, moves in 1usize..200) {
+        let room = RoomConfig::paper_placement_room().build().unwrap();
+        let config = TraceConfig::microsoft(room.provisioned_power());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trace = TraceGenerator::new(config).generate(&mut rng);
+        let placement = BalancedRoundRobin.place(&room, &trace, &mut rng);
+        let mut state = replay(&room, &trace, &placement);
+        let power_before = state.total_allocated();
+        let count_before = state.assignments().len();
+        lns::rebalance(
+            &mut state,
+            |id| trace.deployments().iter().find(|d| d.id() == id).unwrap(),
+            moves,
+            &mut rng,
+        );
+        prop_assert!(state.total_allocated().approx_eq(power_before, 1e-3));
+        prop_assert_eq!(state.assignments().len(), count_before);
+        prop_assert!(state.verify_safety(trace.deployments()).is_empty());
+    }
+}
+
+/// Deterministic regression: a cap-able-only room can still use part of
+/// the reserve (the paper's first production deployments, Section VI).
+#[test]
+fn capable_only_room_uses_partial_reserve() {
+    let room = RoomConfig::paper_placement_room().build().unwrap();
+    let config = TraceConfig::microsoft(room.provisioned_power())
+        .with_category_mix([0.0, 1.0, 0.0]);
+    let mut rng = SmallRng::seed_from_u64(77);
+    let trace = TraceGenerator::new(config).generate(&mut rng);
+    let placement = BalancedRoundRobin.place(&room, &trace, &mut rng);
+    let state = replay(&room, &trace, &placement);
+    let allocated = state.total_allocated();
+    // More than the conventional budget (uses some reserve)…
+    assert!(
+        allocated > room.failover_budget(),
+        "allocated {allocated} should exceed the conventional budget"
+    );
+    // …but (with flex power at 75–85%) less than full provisioned power.
+    assert!(allocated < room.provisioned_power());
+}
+
+/// Deterministic regression: flex power of zero (fully shave-able
+/// cap-able racks) allows allocating essentially everything.
+#[test]
+fn fully_shaveable_room_allocates_everything() {
+    let room = RoomConfig::paper_placement_room().build().unwrap();
+    let mut state = RoomState::new(&room);
+    // 6 pairs × 100 racks × 16 kW = 9.6 MW of software-redundant racks.
+    for (i, pair) in room.topology().pdu_pairs().iter().enumerate() {
+        let d = DeploymentRequest::new(
+            DeploymentId(i),
+            format!("sr{i}"),
+            WorkloadCategory::SoftwareRedundant,
+            100,
+            Watts::from_kw(16.0),
+            Some(Fraction::ZERO),
+        )
+        .unwrap();
+        assert!(state.fits(&d, pair.id()));
+        state.place(&d, pair.id());
+    }
+    assert!(state.stranded_power().approx_eq(Watts::ZERO, 1e-3));
+}

@@ -1,0 +1,85 @@
+//! Error type for the power model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying the power model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A fraction was outside `[0, 1]` (or NaN).
+    FractionOutOfRange(f64),
+    /// A topology needs at least two UPS devices to form PDU-pairs.
+    TooFewUpses(usize),
+    /// A UPS id did not belong to the topology it was used with.
+    UnknownUps(usize),
+    /// A PDU-pair id did not belong to the topology it was used with.
+    UnknownPduPair(usize),
+    /// A PDU-pair was declared between a UPS and itself.
+    DegeneratePair(usize),
+    /// A device capacity was not strictly positive.
+    NonPositiveCapacity(f64),
+    /// A trip curve needs at least one (load, tolerance) point above 100%.
+    EmptyTripCurve,
+    /// Trip-curve points must have strictly increasing load fractions.
+    UnsortedTripCurve,
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::FractionOutOfRange(v) => {
+                write!(f, "fraction {v} is outside the range [0, 1]")
+            }
+            PowerError::TooFewUpses(n) => {
+                write!(f, "topology requires at least 2 UPS devices, got {n}")
+            }
+            PowerError::UnknownUps(id) => write!(f, "UPS id {id} is not part of this topology"),
+            PowerError::UnknownPduPair(id) => {
+                write!(f, "PDU-pair id {id} is not part of this topology")
+            }
+            PowerError::DegeneratePair(id) => {
+                write!(f, "PDU-pair may not connect UPS {id} to itself")
+            }
+            PowerError::NonPositiveCapacity(w) => {
+                write!(f, "device capacity must be positive, got {w} W")
+            }
+            PowerError::EmptyTripCurve => write!(f, "trip curve has no overload points"),
+            PowerError::UnsortedTripCurve => {
+                write!(f, "trip curve points must have strictly increasing load")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let variants: Vec<PowerError> = vec![
+            PowerError::FractionOutOfRange(1.5),
+            PowerError::TooFewUpses(1),
+            PowerError::UnknownUps(9),
+            PowerError::UnknownPduPair(9),
+            PowerError::DegeneratePair(3),
+            PowerError::NonPositiveCapacity(-1.0),
+            PowerError::EmptyTripCurve,
+            PowerError::UnsortedTripCurve,
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PowerError>();
+    }
+}

@@ -1,0 +1,361 @@
+//! Probability distributions for the workload and telemetry models.
+//!
+//! Implemented directly on top of [`rand::Rng`] (Box–Muller, inverse CDF)
+//! to avoid an extra dependency. All samplers are cheap value types.
+
+use rand::Rng;
+
+/// A distribution over `f64` that can be sampled with any RNG.
+pub trait Sample {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// Normal (Gaussian) distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is NaN.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "invalid normal parameters: mean={mean} std_dev={std_dev}"
+        );
+        Normal { mean, std_dev }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Sample for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one draw per call keeps samplers stateless.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Normal distribution truncated (by resampling, with a clamp fallback) to
+/// `[lo, hi]` — the shape used for rack power draws, which are physically
+/// bounded by idle and provisioned power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    inner: Normal,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a truncated normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or parameters are invalid.
+    pub fn new(mean: f64, std_dev: f64, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "truncation bounds inverted: [{lo}, {hi}]");
+        TruncatedNormal {
+            inner: Normal::new(mean, std_dev),
+            lo,
+            hi,
+        }
+    }
+}
+
+impl Sample for TruncatedNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        for _ in 0..16 {
+            let x = self.inner.sample(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        // Pathological parameters (mean far outside bounds): clamp.
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`, used for latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// From the underlying normal's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal {
+            norm: Normal::new(mu, sigma),
+        }
+    }
+
+    /// From the log-normal's own median and a multiplicative spread
+    /// (sigma of the underlying normal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or parameters are invalid.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        LogNormal::new(median.ln(), sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with the given rate (events per unit time),
+/// used for failure inter-arrival times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        Exponential { rate }
+    }
+
+    /// From the mean (`1 / rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0`.
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "uniform bounds inverted: [{lo}, {hi})");
+        Uniform { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+/// A weighted choice over a fixed set of items.
+///
+/// ```
+/// use flex_sim::dist::WeightedChoice;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let wc = WeightedChoice::new(vec![("a", 1.0), ("b", 3.0)])?;
+/// let picks: Vec<&str> = (0..1000).map(|_| *wc.choose(&mut rng)).collect();
+/// let b_count = picks.iter().filter(|s| **s == "b").count();
+/// assert!(b_count > 650 && b_count < 850); // ~75%
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedChoice<T> {
+    items: Vec<T>,
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl<T> WeightedChoice<T> {
+    /// Builds a weighted chooser.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `items` is empty, any weight is negative/NaN,
+    /// or all weights are zero.
+    pub fn new(items: Vec<(T, f64)>) -> Result<Self, String> {
+        if items.is_empty() {
+            return Err("weighted choice needs at least one item".into());
+        }
+        let mut cumulative = Vec::with_capacity(items.len());
+        let mut total = 0.0;
+        let mut out = Vec::with_capacity(items.len());
+        for (item, w) in items {
+            if w.is_nan() || w < 0.0 {
+                return Err(format!("invalid weight {w}"));
+            }
+            total += w;
+            cumulative.push(total);
+            out.push(item);
+        }
+        if total <= 0.0 {
+            return Err("all weights are zero".into());
+        }
+        Ok(WeightedChoice {
+            items: out,
+            cumulative,
+            total,
+        })
+    }
+
+    /// Picks an item with probability proportional to its weight.
+    pub fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> &T {
+        let x: f64 = rng.gen_range(0.0..self.total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        &self.items[idx.min(self.items.len() - 1)]
+    }
+
+    /// The stored items, in insertion order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xF1E2)
+    }
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normal")]
+    fn normal_rejects_negative_sigma() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let d = TruncatedNormal::new(0.8, 0.3, 0.2, 1.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((0.2..=1.0).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn truncated_normal_degenerate_clamps() {
+        // Mean far outside the bounds: resampling fails, clamp applies.
+        let d = TruncatedNormal::new(100.0, 0.1, 0.0, 1.0);
+        let mut r = rng();
+        let x = d.sample(&mut r);
+        assert_eq!(x, 1.0);
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::from_median(50.0, 0.5);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[10_000];
+        assert!((median - 50.0).abs() / 50.0 < 0.05, "median {median}");
+        assert!(samples[0] > 0.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::from_mean(4.0);
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        let (mean, _) = mean_and_var(&samples);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let d = Uniform::new(-2.0, 3.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_choice_validation() {
+        assert!(WeightedChoice::<u8>::new(vec![]).is_err());
+        assert!(WeightedChoice::new(vec![(1u8, -1.0)]).is_err());
+        assert!(WeightedChoice::new(vec![(1u8, 0.0)]).is_err());
+        assert!(WeightedChoice::new(vec![(1u8, 0.0), (2u8, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn weighted_choice_never_picks_zero_weight() {
+        let wc = WeightedChoice::new(vec![("never", 0.0), ("always", 1.0)]).unwrap();
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_eq!(*wc.choose(&mut r), "always");
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The event loop: a time-ordered queue of boxed event closures over a
+//! world type `W`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{SimDuration, SimTime};
+
+/// An event: a one-shot closure over the world and the scheduling context.
+type Event<W> = Box<dyn FnOnce(&mut W, &mut Ctx<W>)>;
+
+struct Entry<W> {
+    time: SimTime,
+    seq: u64,
+    event: Event<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first; ties
+        // break by insertion sequence for determinism.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Scheduling context passed to every event, used to enqueue follow-ups.
+///
+/// Events scheduled through the context are merged into the simulator's
+/// queue when the current event returns.
+pub struct Ctx<W> {
+    now: SimTime,
+    pending: Vec<(SimTime, Event<W>)>,
+}
+
+impl<W> Ctx<W> {
+    /// The current virtual time (the firing event's timestamp).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.pending.push((at, Box::new(f)));
+    }
+
+    /// Schedules an event after a relative delay.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.pending.push((at, Box::new(f)));
+    }
+}
+
+/// A deterministic discrete-event simulator over a world `W`.
+///
+/// Events are closures; ties in firing time resolve in scheduling order, so
+/// identical inputs produce identical runs. See the crate docs for an
+/// example.
+pub struct Sim<W> {
+    world: W,
+    queue: BinaryHeap<Entry<W>>,
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+}
+
+impl<W> Sim<W> {
+    /// Creates a simulator at time zero around the given world.
+    pub fn new(world: W) -> Self {
+        Sim {
+            world,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (between events).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulator, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            time: at,
+            seq,
+            event: Box::new(f),
+        });
+    }
+
+    /// Schedules an event after a relative delay.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// Executes the next event, advancing time to it. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.time >= self.now, "event queue went backwards");
+        self.now = entry.time;
+        let mut ctx = Ctx {
+            now: self.now,
+            pending: Vec::new(),
+        };
+        (entry.event)(&mut self.world, &mut ctx);
+        self.executed += 1;
+        for (at, event) in ctx.pending {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Entry { time: at, seq, event });
+        }
+        true
+    }
+
+    /// Runs until the queue is empty. Returns the number of events
+    /// executed by this call.
+    ///
+    /// Prefer [`Sim::run_until`] for workloads with self-perpetuating
+    /// event chains.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let start = self.executed;
+        while self.step() {}
+        self.executed - start
+    }
+
+    /// Runs events with firing time `<= deadline`, then advances the clock
+    /// to exactly `deadline`. Events scheduled later stay queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.executed;
+        while let Some(t) = self.next_event_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+        self.executed - start
+    }
+
+    /// Runs for a relative duration from the current time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.now + d;
+        self.run_until(deadline)
+    }
+}
+
+impl<W: std::fmt::Debug> std::fmt::Debug for Sim<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        sim.schedule_at(SimTime::from_nanos(30), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(SimTime::from_nanos(10), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_nanos(20), |w: &mut Vec<u32>, _| w.push(2));
+        sim.run_until_idle();
+        assert_eq!(sim.world(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        let t = SimTime::from_nanos(5);
+        for i in 0..10 {
+            sim.schedule_at(t, move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.world(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_from_events() {
+        let mut sim = Sim::new(0u64);
+        sim.schedule_in(SimDuration::from_secs(1), |w: &mut u64, ctx| {
+            *w += 1;
+            ctx.schedule_in(SimDuration::from_secs(2), |w: &mut u64, ctx| {
+                *w += 10;
+                ctx.schedule_in(SimDuration::from_secs(3), |w: &mut u64, _| *w += 100);
+            });
+        });
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 111);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(6.0));
+        assert_eq!(sim.executed_events(), 3);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(0u32);
+        for i in 1..=10 {
+            sim.schedule_at(SimTime::from_secs_f64(i as f64), |w: &mut u32, _| *w += 1);
+        }
+        let executed = sim.run_until(SimTime::from_secs_f64(4.5));
+        assert_eq!(executed, 4);
+        assert_eq!(*sim.world(), 4);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(4.5));
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn run_for_is_relative() {
+        let mut sim = Sim::new(0u32);
+        sim.schedule_at(SimTime::from_secs_f64(1.0), |w: &mut u32, _| *w += 1);
+        sim.schedule_at(SimTime::from_secs_f64(3.0), |w: &mut u32, _| *w += 1);
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(*sim.world(), 1);
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(*sim.world(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Sim::new(());
+        sim.schedule_at(SimTime::from_secs_f64(5.0), |_, _| {});
+        sim.run_until_idle();
+        sim.schedule_at(SimTime::from_secs_f64(1.0), |_, _| {});
+    }
+
+    #[test]
+    fn periodic_self_rescheduling_pattern() {
+        // The idiom used by pollers/controllers: an event that re-arms
+        // itself.
+        fn tick(w: &mut u32, ctx: &mut Ctx<u32>) {
+            *w += 1;
+            if *w < 5 {
+                ctx.schedule_in(SimDuration::from_secs(1), tick);
+            }
+        }
+        let mut sim = Sim::new(0u32);
+        sim.schedule_at(SimTime::ZERO, tick);
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 5);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(4.0));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn run() -> (Vec<u32>, SimTime) {
+            let mut sim = Sim::new(Vec::new());
+            for i in 0..100u32 {
+                let t = SimTime::from_nanos(((i * 37) % 50) as u64);
+                sim.schedule_at(t, move |w: &mut Vec<u32>, _| w.push(i));
+            }
+            sim.run_until_idle();
+            let now = sim.now();
+            (sim.into_world(), now)
+        }
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,237 @@
+//! Failure injection: up/down schedules for named components.
+//!
+//! The telemetry pipeline and controller evaluations need to knock out
+//! meters, switches, pollers, pub/sub instances, and controllers on
+//! schedules — both hand-written (worst-case scenarios) and generated from
+//! MTBF/MTTR models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{Exponential, Sample};
+use crate::{SimDuration, SimTime};
+
+/// A half-open outage window `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outage {
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive).
+    pub until: SimTime,
+}
+
+impl Outage {
+    /// Creates an outage window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        assert!(until > from, "outage must have positive duration");
+        Outage { from, until }
+    }
+
+    /// True if `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.from && t < self.until
+    }
+
+    /// Window length.
+    pub fn duration(&self) -> SimDuration {
+        self.until - self.from
+    }
+}
+
+/// Up/down schedule for a set of named components.
+///
+/// ```
+/// use flex_sim::fault::FaultPlan;
+/// use flex_sim::SimTime;
+///
+/// let mut plan = FaultPlan::new();
+/// plan.add_outage("poller/0", SimTime::from_secs_f64(10.0), SimTime::from_secs_f64(20.0));
+/// assert!(plan.is_up("poller/0", SimTime::from_secs_f64(5.0)));
+/// assert!(!plan.is_up("poller/0", SimTime::from_secs_f64(15.0)));
+/// assert!(plan.is_up("poller/1", SimTime::from_secs_f64(15.0))); // unlisted = always up
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    outages: Vec<(String, Outage)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: everything is always up.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds an outage window for a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn add_outage(&mut self, component: &str, from: SimTime, until: SimTime) -> &mut Self {
+        self.outages
+            .push((component.to_owned(), Outage::new(from, until)));
+        self
+    }
+
+    /// Generates random outage windows for a component over `[0, horizon)`
+    /// from an exponential MTBF/MTTR model, using the provided RNG.
+    pub fn add_random_outages<R: rand::Rng + ?Sized>(
+        &mut self,
+        component: &str,
+        horizon: SimDuration,
+        mtbf: SimDuration,
+        mttr: SimDuration,
+        rng: &mut R,
+    ) -> &mut Self {
+        let up_dist = Exponential::from_mean(mtbf.as_secs_f64());
+        let down_dist = Exponential::from_mean(mttr.as_secs_f64());
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + horizon;
+        loop {
+            let up = SimDuration::from_secs_f64(up_dist.sample(rng));
+            let fail_at = t + up;
+            if fail_at >= end {
+                break;
+            }
+            let down = SimDuration::from_secs_f64(down_dist.sample(rng).max(1e-6));
+            let back_at = fail_at + down;
+            self.add_outage(component, fail_at, back_at);
+            t = back_at;
+            if t >= end {
+                break;
+            }
+        }
+        self
+    }
+
+    /// True if the component is up at time `t`. Components without any
+    /// outage are always up.
+    pub fn is_up(&self, component: &str, t: SimTime) -> bool {
+        !self
+            .outages
+            .iter()
+            .any(|(c, o)| c == component && o.contains(t))
+    }
+
+    /// All outage windows for a component, in insertion order.
+    pub fn outages_of(&self, component: &str) -> Vec<Outage> {
+        self.outages
+            .iter()
+            .filter(|(c, _)| c == component)
+            .map(|(_, o)| *o)
+            .collect()
+    }
+
+    /// Total downtime of a component within `[0, horizon)`.
+    pub fn downtime(&self, component: &str, horizon: SimDuration) -> SimDuration {
+        let end = SimTime::ZERO + horizon;
+        self.outages_of(component)
+            .iter()
+            .map(|o| {
+                let from = o.from.min(end);
+                let until = o.until.min(end);
+                until.saturating_since(from)
+            })
+            .sum()
+    }
+
+    /// The components mentioned in this plan.
+    pub fn components(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.outages.iter().map(|(c, _)| c.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn outage_window_semantics() {
+        let o = Outage::new(SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(2.0));
+        assert!(o.contains(SimTime::from_secs_f64(1.0)));
+        assert!(o.contains(SimTime::from_secs_f64(1.999)));
+        assert!(!o.contains(SimTime::from_secs_f64(2.0)));
+        assert_eq!(o.duration(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_length_outage_panics() {
+        let t = SimTime::from_secs_f64(1.0);
+        let _ = Outage::new(t, t);
+    }
+
+    #[test]
+    fn plan_overlapping_outages() {
+        let mut plan = FaultPlan::new();
+        plan.add_outage("x", SimTime::from_secs_f64(0.0), SimTime::from_secs_f64(10.0));
+        plan.add_outage("x", SimTime::from_secs_f64(5.0), SimTime::from_secs_f64(15.0));
+        assert!(!plan.is_up("x", SimTime::from_secs_f64(7.0)));
+        assert!(!plan.is_up("x", SimTime::from_secs_f64(12.0)));
+        assert!(plan.is_up("x", SimTime::from_secs_f64(15.0)));
+    }
+
+    #[test]
+    fn random_outages_respect_horizon_and_are_deterministic() {
+        let horizon = SimDuration::from_secs(3600);
+        let gen_plan = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut plan = FaultPlan::new();
+            plan.add_random_outages(
+                "meter",
+                horizon,
+                SimDuration::from_secs(300),
+                SimDuration::from_secs(30),
+                &mut rng,
+            );
+            plan
+        };
+        let a = gen_plan(1);
+        let b = gen_plan(1);
+        assert_eq!(a, b, "same seed must give same plan");
+        let outages = a.outages_of("meter");
+        assert!(!outages.is_empty(), "expected failures within the horizon");
+        for o in &outages {
+            assert!(o.from < SimTime::ZERO + horizon);
+        }
+        assert_ne!(a, gen_plan(2));
+    }
+
+    #[test]
+    fn downtime_accounting_clips_to_horizon() {
+        let mut plan = FaultPlan::new();
+        plan.add_outage("x", SimTime::from_secs_f64(50.0), SimTime::from_secs_f64(70.0));
+        assert_eq!(
+            plan.downtime("x", SimDuration::from_secs(100)),
+            SimDuration::from_secs(20)
+        );
+        assert_eq!(
+            plan.downtime("x", SimDuration::from_secs(60)),
+            SimDuration::from_secs(10)
+        );
+        assert_eq!(
+            plan.downtime("x", SimDuration::from_secs(40)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            plan.downtime("unknown", SimDuration::from_secs(100)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn components_listing() {
+        let mut plan = FaultPlan::new();
+        plan.add_outage("b", SimTime::ZERO, SimTime::from_secs_f64(1.0));
+        plan.add_outage("a", SimTime::ZERO, SimTime::from_secs_f64(1.0));
+        plan.add_outage("a", SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(3.0));
+        assert_eq!(plan.components(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,37 @@
+//! The highly available power telemetry pipeline (Section IV-C).
+//!
+//! Flex-Online's safety depends on seeing UPS overdraw within the
+//! overload-tolerance window, so the paper builds a pipeline with **no
+//! single point of failure**: every UPS is measured by three *logical
+//! meters* (UPS output ≈ IT aggregate ≈ site total − mechanical), wired
+//! through diverse management switches, polled by independent pollers on
+//! separate fault domains, and published through independent pub/sub
+//! systems to the controllers. A consensus over the three normalized
+//! meter values masks one failed or misreading meter.
+//!
+//! This crate reproduces that structure as a deterministic, passively
+//! driven model:
+//!
+//! - [`MeterBank`] — per-device meters with noise, stuck-reading, and
+//!   drop faults ([`MeterFaults`]);
+//! - [`Pipeline`] — the poller/switch/pub-sub fabric: each *poll tick*
+//!   reads every reachable meter, applies the 3-way consensus for UPS
+//!   devices, and returns the [`Delivery`] batches that will arrive at
+//!   subscribers (with sampled network/processing latencies);
+//! - availability is controlled by a [`flex_sim::fault::FaultPlan`] over
+//!   component names (`"poller/0"`, `"switch/1"`, `"pubsub/0"`,
+//!   `"meter/ups2/UpsOutput"`), so experiments can knock out any subset.
+//!
+//! The embedding simulation (see `flex-online`) schedules the poll ticks
+//! on its event loop and forwards each delivery at its `arrive_at` time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod meter;
+mod pipeline;
+
+pub use config::PipelineConfig;
+pub use meter::{MeterBank, MeterFaults};
+pub use pipeline::{Delivery, Pipeline, TelemetryPayload};

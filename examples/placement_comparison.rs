@@ -1,0 +1,61 @@
+//! Mini Figure 9/10: compare the placement policies on a few shuffled
+//! demand traces and print stranded power and throttling imbalance.
+//!
+//! Run with: `cargo run --release -p flex-core --example placement_comparison`
+//! (the full 10-trace evaluation lives in the flex-bench binaries).
+
+use flex_core::placement::metrics::{stranded_fraction, throttling_imbalance};
+use flex_core::placement::policies::{
+    replay, BalancedRoundRobin, FirstFit, FlexOffline, PlacementPolicy, Random,
+};
+use flex_core::placement::RoomConfig;
+use flex_core::workload::trace::{TraceConfig, TraceGenerator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let room = RoomConfig::paper_placement_room().build()?;
+    let trace_config = TraceConfig::microsoft(room.provisioned_power());
+    let base = TraceGenerator::new(trace_config)
+        .generate(&mut SmallRng::seed_from_u64(2026));
+
+    let shuffles = 3;
+    println!(
+        "{:<22} {:>18} {:>22}",
+        "policy", "stranded power", "throttling imbalance"
+    );
+    let evaluate = |name: &str, place: &dyn Fn(&mut SmallRng, &flex_core::workload::trace::DemandTrace) -> flex_core::placement::Placement| {
+        let mut stranded = Vec::new();
+        let mut imbalance = Vec::new();
+        for s in 0..shuffles {
+            let mut rng = SmallRng::seed_from_u64(100 + s);
+            let trace = base.shuffled(&mut rng);
+            let placement = place(&mut rng, &trace);
+            let state = replay(&room, &trace, &placement);
+            stranded.push(stranded_fraction(&state));
+            imbalance.push(throttling_imbalance(&state));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "{:<22} {:>16.1}%  {:>20.3}",
+            name,
+            mean(&stranded) * 100.0,
+            mean(&imbalance)
+        );
+    };
+
+    evaluate("Random", &|rng, t| Random.place(&room, t, rng));
+    evaluate("First-Fit", &|rng, t| FirstFit.place(&room, t, rng));
+    evaluate("Balanced Round-Robin", &|rng, t| {
+        BalancedRoundRobin.place(&room, t, rng)
+    });
+    evaluate("Flex-Offline-Short", &|rng, t| {
+        FlexOffline::short().place(&room, t, rng)
+    });
+    evaluate("Flex-Offline-Oracle", &|rng, t| {
+        FlexOffline::oracle().place(&room, t, rng)
+    });
+    println!("\nLower is better on both metrics; the paper's ordering is");
+    println!("Random > Balanced Round-Robin > Flex-Offline-Short > -Long > -Oracle.");
+    Ok(())
+}

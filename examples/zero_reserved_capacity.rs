@@ -1,0 +1,69 @@
+//! The capacity and cost story of zero-reserved-power datacenters
+//! (paper Sections I–III): how much reserve a conventional room wastes,
+//! what Flex unlocks, how rarely corrective actions fire, and what that
+//! is worth in construction dollars.
+//!
+//! Run with: `cargo run --release -p flex-core --example zero_reserved_capacity`
+
+use flex_core::analysis::cost::CostModel;
+use flex_core::analysis::feasibility::{simulate_years, FeasibilityModel};
+use flex_core::power::{Topology, Watts};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== reserve arithmetic by redundancy design ==");
+    for x in [2usize, 3, 4, 6] {
+        let topo = Topology::distributed_redundant(x, Watts::from_mw(2.4))?;
+        println!(
+            "  {x}N/{y}: provisioned {}, conventional budget {}, reserve {} ({:.0}%), Flex unlocks +{:.0}% servers",
+            topo.provisioned_power(),
+            topo.failover_budget(),
+            topo.reserved_power(),
+            topo.reserved_power() / topo.provisioned_power() * 100.0,
+            topo.extra_server_fraction() * 100.0,
+            y = x - 1,
+        );
+    }
+
+    println!("\n== feasibility (Section III) ==");
+    let model = FeasibilityModel::paper();
+    println!(
+        "  unplanned supply loss: {} h/yr; planned: {} h/yr (scheduled into utilization dips)",
+        model.unplanned_hours_per_year, model.planned_hours_per_year
+    );
+    let avail = model.no_action_availability();
+    println!(
+        "  operation without corrective actions: {:.5}% ({:.1} nines; paper: ≥ 4 nines)",
+        avail * 100.0,
+        FeasibilityModel::nines(avail)
+    );
+    let p_shut = model.shutdown_probability();
+    println!(
+        "  P(software-redundant server shut down): {:.4}% (paper: ~0.005%)",
+        p_shut * 100.0
+    );
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mc = simulate_years(&model, 200, &mut rng);
+    println!(
+        "  Monte-Carlo over 200 years: action time {:.5}%, shutdown time {:.5}%",
+        mc.action_fraction() * 100.0,
+        mc.shutdown_fraction() * 100.0
+    );
+
+    println!("\n== construction savings (Section I) ==");
+    for dollars in [5.0, 7.5, 10.0] {
+        let ideal = CostModel::paper_site(dollars);
+        let realistic = CostModel {
+            stranded_fraction: 0.04,
+            upgrade_cost_fraction: 0.03,
+            ..ideal
+        };
+        println!(
+            "  at ${dollars}/W: headline ${:.0}M, with 4% stranding + 3% upgrades ${:.0}M",
+            ideal.construction_savings() / 1e6,
+            realistic.construction_savings() / 1e6
+        );
+    }
+    Ok(())
+}

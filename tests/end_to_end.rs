@@ -1,0 +1,137 @@
+//! End-to-end timing contract: from scripted UPS failure through
+//! telemetry, decision, and actuation, the room must be back inside its
+//! limits before the overload accumulators trip — including under
+//! telemetry and rack-manager faults (no single point of failure).
+
+use flex_core::online::sim::{DemandFn, RoomSim, RoomSimConfig, SimEvent};
+use flex_core::online::ImpactRegistry;
+use flex_core::placement::policies::{BalancedRoundRobin, PlacementPolicy};
+use flex_core::placement::{PlacedRoom, RoomConfig};
+use flex_core::power::UpsId;
+use flex_core::sim::fault::FaultPlan;
+use flex_core::sim::{SimDuration, SimTime};
+use flex_core::workload::impact::scenarios;
+use flex_core::workload::trace::{TraceConfig, TraceGenerator};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn build(seed: u64, controllers: usize) -> RoomSim {
+    let room = RoomConfig::paper_emulation_room().build().unwrap();
+    let config = TraceConfig::microsoft(room.provisioned_power());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let trace = TraceGenerator::new(config).generate(&mut rng);
+    let placement = BalancedRoundRobin.place(&room, &trace, &mut rng);
+    let placed = PlacedRoom::materialize(&room, &trace, &placement);
+    let registry = ImpactRegistry::from_scenario(
+        placed.racks().iter().map(|r| (r.deployment, r.category)),
+        &scenarios::realistic_1(),
+    );
+    let demand: DemandFn =
+        Box::new(|rack, _, rng: &mut SmallRng| rack.provisioned * rng.gen_range(0.76..0.86));
+    let sim_config = RoomSimConfig {
+        controllers,
+        ..RoomSimConfig::default()
+    };
+    RoomSim::new(&placed, registry, demand, sim_config)
+}
+
+#[test]
+fn failover_contained_within_ups_tolerance() {
+    let mut sim = build(1, 3);
+    sim.fail_ups_at(SimTime::from_secs_f64(20.0), UpsId(0));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(150));
+    let w = sim.world();
+    assert!(!w.stats.cascaded(), "events: {:?}", w.stats.events);
+    let detect = w.stats.detection_latency[0];
+    assert!(
+        detect <= SimDuration::from_secs(10),
+        "end-to-end detection {detect} blew the 10 s budget"
+    );
+    // Production-like numbers: ~3.5 s end to end at p99.9 per the
+    // paper; our pipeline is configured similarly.
+    assert!(detect >= SimDuration::from_millis(200), "suspiciously fast");
+}
+
+#[test]
+fn single_component_failures_do_not_break_detection() {
+    // Knock out one poller, one pub/sub, one switch, and a meter — the
+    // pipeline's redundancy must still deliver detection in time.
+    let mut sim = build(2, 3);
+    let mut plan = FaultPlan::new();
+    let forever = SimTime::from_secs_f64(1e7);
+    plan.add_outage("poller/0", SimTime::ZERO, forever);
+    plan.add_outage("pubsub/1", SimTime::ZERO, forever);
+    plan.add_outage("meter/ups1/UpsOutput", SimTime::ZERO, forever);
+    sim.world_mut().set_pipeline_fault_plan(plan);
+    sim.fail_ups_at(SimTime::from_secs_f64(20.0), UpsId(1));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(150));
+    let w = sim.world();
+    assert!(!w.stats.cascaded());
+    assert!(
+        !w.stats.detection_latency.is_empty(),
+        "failure must still be detected"
+    );
+    assert!(w.stats.detection_latency[0] <= SimDuration::from_secs(10));
+}
+
+#[test]
+fn unreachable_rms_degrade_gracefully() {
+    let mut sim = build(3, 3);
+    // A third of the rack managers are unreachable: the controllers
+    // must work around them (retrying others) and still contain.
+    let mut plan = FaultPlan::new();
+    let forever = SimTime::from_secs_f64(1e7);
+    for rack in (0..360).step_by(3) {
+        plan.add_outage(&format!("rm/{rack}"), SimTime::ZERO, forever);
+    }
+    sim.world_mut().set_actuator_fault_plan(plan);
+    sim.fail_ups_at(SimTime::from_secs_f64(20.0), UpsId(2));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(180));
+    let w = sim.world();
+    assert!(
+        !w.stats.cascaded(),
+        "containment must survive 1/3 of RMs being down"
+    );
+    let applied = w
+        .stats
+        .count_events(|e| matches!(e, SimEvent::Applied { .. }));
+    assert!(applied > 0);
+}
+
+#[test]
+fn single_controller_is_sufficient_but_slower_or_equal() {
+    let mut sim1 = build(4, 1);
+    sim1.fail_ups_at(SimTime::from_secs_f64(20.0), UpsId(0));
+    sim1.run_until(SimTime::ZERO + SimDuration::from_secs(150));
+    assert!(!sim1.world().stats.cascaded());
+    let d1 = sim1.world().stats.detection_latency[0];
+
+    let mut sim3 = build(4, 3);
+    sim3.fail_ups_at(SimTime::from_secs_f64(20.0), UpsId(0));
+    sim3.run_until(SimTime::ZERO + SimDuration::from_secs(150));
+    assert!(!sim3.world().stats.cascaded());
+    let d3 = sim3.world().stats.detection_latency[0];
+
+    // Multi-primary can only help first-detection latency (same
+    // telemetry; more listeners).
+    assert!(d3 <= d1 + SimDuration::from_millis(1), "d3 {d3} vs d1 {d1}");
+}
+
+#[test]
+fn emulation_report_reproduces_figure_13_shape() {
+    use flex_core::emulation::{run, EmulationConfig};
+    let report = run(EmulationConfig {
+        fail_at: SimDuration::from_secs(90),
+        restore_at: SimDuration::from_secs(300),
+        duration: SimDuration::from_secs(600),
+        ..EmulationConfig::default()
+    });
+    assert!(!report.cascaded);
+    assert!(report.fully_recovered);
+    assert!(report.sr_shutdown_fraction > 0.2);
+    assert!(report.detection_latency.unwrap() <= SimDuration::from_secs(10));
+    if let Some(d) = report.enforcement_duration {
+        assert!(d <= SimDuration::from_secs(20), "enforcement {d}");
+    }
+    assert!(report.mean_p95_inflation < 0.25);
+}
