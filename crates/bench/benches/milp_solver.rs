@@ -1,6 +1,8 @@
 //! Criterion: simplex and branch-and-bound scaling on knapsack-shaped
 //! models (the Gurobi stand-in's core loop).
 
+use std::time::{Duration, Instant};
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flex_core::milp::simplex::solve_relaxation;
 use flex_core::milp::{Model, Relation, Sense, SolveConfig};
@@ -59,5 +61,93 @@ fn bench_branch_and_bound(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simplex, bench_branch_and_bound);
+/// A placement-shaped instance: `deps × pairs` assignment binaries,
+/// one at-most-one row per deployment and one capacity row per PDU
+/// pair — the structure `flex-placement` hands the solver, at the
+/// paper's batch scale (~200 binaries for 40 deployments × 5 pairs).
+fn placement_like(deps: usize, pairs: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let power: Vec<f64> = (0..deps).map(|d| ((d * 37 + 11) % 50 + 10) as f64).collect();
+    let x: Vec<Vec<_>> = (0..deps)
+        .map(|d| {
+            (0..pairs)
+                .map(|p| m.add_binary(format!("x{d}_{p}"), power[d]))
+                .collect()
+        })
+        .collect();
+    for (d, row) in x.iter().enumerate() {
+        m.add_constraint(
+            format!("assign{d}"),
+            row.iter().map(|&v| (v, 1.0)),
+            Relation::Le,
+            1.0,
+        )
+        .unwrap();
+    }
+    // Pair capacity sized so ~80% of total power fits: the solver has to
+    // choose what to strand, like a tight placement batch.
+    let total: f64 = power.iter().sum();
+    let cap = total * 0.8 / pairs as f64;
+    for p in 0..pairs {
+        m.add_constraint(
+            format!("cap{p}"),
+            (0..deps).map(|d| (x[d][p], power[d])),
+            Relation::Le,
+            cap,
+        )
+        .unwrap();
+    }
+    m
+}
+
+/// Threads × warm-start matrix on the ~200-binary placement-shaped
+/// instance, plus a one-shot nodes/sec report per configuration. The
+/// node budget (not the wall clock) bounds each solve so configurations
+/// do comparable work and throughput is the comparable number.
+fn bench_thread_matrix(c: &mut Criterion) {
+    let m = placement_like(40, 5);
+    let make_cfg = |threads: usize, warm_lp: bool| SolveConfig {
+        threads,
+        warm_lp,
+        max_nodes: 2_000,
+        time_limit: Duration::from_secs(30),
+        ..SolveConfig::default()
+    };
+
+    let mut group = c.benchmark_group("milp/threads-warm-200bin");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        for &warm_lp in &[false, true] {
+            let cfg = make_cfg(threads, warm_lp);
+            let label = if warm_lp { "warm" } else { "cold" };
+            group.bench_with_input(BenchmarkId::new(label, threads), &cfg, |b, cfg| {
+                b.iter(|| m.solve(cfg).unwrap())
+            });
+        }
+    }
+    group.finish();
+
+    println!("\nmilp/threads-warm-200bin node throughput:");
+    for &threads in &[1usize, 2, 4] {
+        for &warm_lp in &[false, true] {
+            let cfg = make_cfg(threads, warm_lp);
+            let start = Instant::now();
+            let sol = m.solve(&cfg).unwrap();
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "  threads={threads} warm={warm_lp}: {:.0} nodes/s \
+                 (nodes={} lp_iters={} warm={} cold={} objective={:.1} in {:.3}s)",
+                sol.nodes_explored as f64 / secs.max(1e-9),
+                sol.nodes_explored,
+                sol.lp_iterations,
+                sol.warm_starts,
+                sol.cold_starts,
+                sol.objective,
+                secs,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_simplex, bench_branch_and_bound, bench_thread_matrix);
 criterion_main!(benches);

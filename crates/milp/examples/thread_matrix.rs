@@ -1,0 +1,64 @@
+//! Prints the solver counters for each (threads, warm_lp) configuration
+//! on the ~200-binary placement-shaped instance the benches use —
+//! handy for eyeballing warm-start savings and engine parity.
+
+use std::time::{Duration, Instant};
+
+use flex_milp::{Model, Relation, Sense, SolveConfig};
+
+fn placement_like(deps: usize, pairs: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let power: Vec<f64> = (0..deps).map(|d| ((d * 37 + 11) % 50 + 10) as f64).collect();
+    let x: Vec<Vec<_>> = (0..deps)
+        .map(|d| {
+            (0..pairs)
+                .map(|p| m.add_binary(format!("x{d}_{p}"), power[d]))
+                .collect()
+        })
+        .collect();
+    for (d, row) in x.iter().enumerate() {
+        m.add_constraint(
+            format!("assign{d}"),
+            row.iter().map(|&v| (v, 1.0)),
+            Relation::Le,
+            1.0,
+        )
+        .unwrap();
+    }
+    let total: f64 = power.iter().sum();
+    let cap = total * 0.8 / pairs as f64;
+    for p in 0..pairs {
+        m.add_constraint(
+            format!("cap{p}"),
+            (0..deps).map(|d| (x[d][p], power[d])),
+            Relation::Le,
+            cap,
+        )
+        .unwrap();
+    }
+    m
+}
+
+fn main() {
+    let m = placement_like(40, 5);
+    for (threads, warm_lp) in [(1, false), (1, true), (2, true), (4, true)] {
+        let cfg = SolveConfig {
+            threads,
+            warm_lp,
+            max_nodes: 2_000,
+            time_limit: Duration::from_secs(30),
+            ..SolveConfig::default()
+        };
+        let start = Instant::now();
+        match m.solve(&cfg) {
+            Ok(sol) => println!(
+                "threads={threads} warm={warm_lp}: {sol} ({:.3}s)",
+                start.elapsed().as_secs_f64()
+            ),
+            Err(e) => println!(
+                "threads={threads} warm={warm_lp}: ERROR {e} ({:.3}s)",
+                start.elapsed().as_secs_f64()
+            ),
+        }
+    }
+}

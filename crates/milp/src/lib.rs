@@ -10,10 +10,15 @@
 //!   objective;
 //! - [`simplex`] — a dense two-phase primal simplex over the LP
 //!   relaxation;
-//! - branch-and-bound ([`Model::solve`]) — best-first on the LP bound with
-//!   most-fractional branching, a rounding incumbent heuristic, a
-//!   relative-gap stop, and a wall-clock time limit (mirroring the paper's
-//!   5-minute Gurobi cap).
+//! - branch-and-bound ([`Model::solve`]) — parallel best-first search on
+//!   the LP bound with most-fractional branching, warm-started node
+//!   relaxations (dual simplex from the parent basis, see
+//!   [`simplex::WarmContext`]), a rounding incumbent heuristic, a
+//!   relative-gap stop, and a wall-clock time limit (mirroring the
+//!   paper's 5-minute Gurobi cap). [`SolveConfig::threads`] selects the
+//!   worker count; `threads: 1` is deterministic, and `threads: 1` with
+//!   `warm_lp: false` reproduces the original sequential solver exactly.
+//!   See `crates/milp/README.md` for the engine architecture.
 //!
 //! # Example: a tiny knapsack
 //!
@@ -44,4 +49,5 @@ mod solver;
 
 pub use error::MilpError;
 pub use model::{ConstraintId, Model, Relation, Sense, VarId, VarKind};
+pub use simplex::{BasisSnapshot, RelaxSolve, WarmContext};
 pub use solver::{MilpSolution, SolveConfig, SolveStatus};

@@ -90,6 +90,23 @@ impl LpProblem {
     /// Panics if `bounds.len()` differs from the model's variable count
     /// or any override is inverted/non-finite.
     pub fn from_model(model: &Model, bounds: &[(f64, f64)]) -> LpProblem {
+        Self::build(model, bounds, true)
+    }
+
+    /// Like [`LpProblem::from_model`], but never eliminates fixed
+    /// variables, so the column layout depends only on the model — not on
+    /// which bounds happen to be pinned. A stable layout is what lets a
+    /// [`BasisSnapshot`] taken at one branch-and-bound node be re-applied
+    /// at another after only the `lower`/`upper` vectors change.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`LpProblem::from_model`].
+    pub fn from_model_dense(model: &Model, bounds: &[(f64, f64)]) -> LpProblem {
+        Self::build(model, bounds, false)
+    }
+
+    fn build(model: &Model, bounds: &[(f64, f64)], eliminate: bool) -> LpProblem {
         assert_eq!(bounds.len(), model.var_count(), "bounds length mismatch");
         let sign = match model.sense() {
             Sense::Minimize => 1.0,
@@ -107,7 +124,7 @@ impl LpProblem {
             let l = lo.max(v.lower);
             let u = hi.min(v.upper);
             debug_assert!(l <= u + 1e-9, "override disjoint from model bounds");
-            if u - l < 1e-12 {
+            if eliminate && u - l < 1e-12 {
                 var_map.push(ColRef::Fixed(l));
                 objective_offset += sign * v.objective * l;
             } else {
@@ -213,8 +230,9 @@ impl Tableau {
     }
 
     /// Runs the primal simplex for the given cost vector. Returns
-    /// `Ok(objective)` at optimality.
-    fn optimize(&mut self, costs: &[f64], max_iters: u64) -> Result<f64, LpStatus> {
+    /// `Ok(objective)` at optimality. Each pivot or bound flip adds one
+    /// to `iters`.
+    fn optimize(&mut self, costs: &[f64], max_iters: u64, iters: &mut u64) -> Result<f64, LpStatus> {
         let mut degenerate_streak: u32 = 0;
         for _ in 0..max_iters {
             // Basic costs, then reduced costs d_j = c_j − c_Bᵀ·tab[:,j].
@@ -258,6 +276,7 @@ impl Tableau {
                     .sum::<f64>();
                 return Ok(obj);
             };
+            *iters += 1;
 
             // Ratio test: how far can x_j move (by t ≥ 0 in direction sigma)?
             let own_limit = self.upper[j] - self.lower[j]; // bound flip distance
@@ -328,6 +347,111 @@ impl Tableau {
         Err(LpStatus::IterationLimit)
     }
 
+    /// Bounded-variable dual simplex: drives out basic variables that
+    /// violate their bounds, starting from a (near) dual-feasible basis —
+    /// exactly the state a parent node's optimal basis is in after
+    /// branch-and-bound tightens one variable's bounds.
+    ///
+    /// Returns `Ok(())` once every basic variable is within bounds.
+    /// `Err(Infeasible)` is a sound infeasibility certificate: the
+    /// violated row admits no further movement within the remaining
+    /// columns' bounds.
+    fn dual_restore(&mut self, costs: &[f64], max_iters: u64, iters: &mut u64) -> Result<(), LpStatus> {
+        for _ in 0..max_iters {
+            // Leaving row: the worst bound violation among basic vars.
+            let mut leave: Option<(usize, f64, f64)> = None; // (row, signed delta, violation)
+            for i in 0..self.m {
+                let b = self.basis[i];
+                let above = self.xb[i] - self.upper[b];
+                let below = self.lower[b] - self.xb[i];
+                let viol = above.max(below);
+                if viol > FEAS_EPS {
+                    // delta = xb − violated bound (positive above, negative below).
+                    let delta = if above >= below { above } else { -below };
+                    match leave {
+                        Some((_, _, best)) if best >= viol => {}
+                        _ => leave = Some((i, delta, viol)),
+                    }
+                }
+            }
+            let Some((r, delta, _)) = leave else {
+                return Ok(()); // primal feasible
+            };
+            let case_above = delta > 0.0;
+
+            // Entering column: minimizes |reduced cost / pivot| among the
+            // columns whose admissible movement reduces the violation
+            // (keeps the basis dual feasible); ties prefer a larger
+            // pivot magnitude for numerical stability.
+            let cb: Vec<f64> = self.basis.iter().map(|&b| costs[b]).collect();
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+            for j in 0..self.ncols {
+                if self.status[j] == ColStatus::Basic {
+                    continue;
+                }
+                if self.upper[j] - self.lower[j] < PIVOT_EPS {
+                    continue; // fixed column cannot move
+                }
+                let a = self.tab[r][j];
+                let eligible = if case_above {
+                    (self.status[j] == ColStatus::AtLower && a > PIVOT_EPS)
+                        || (self.status[j] == ColStatus::AtUpper && a < -PIVOT_EPS)
+                } else {
+                    (self.status[j] == ColStatus::AtLower && a < -PIVOT_EPS)
+                        || (self.status[j] == ColStatus::AtUpper && a > PIVOT_EPS)
+                };
+                if !eligible {
+                    continue;
+                }
+                let mut d = costs[j];
+                for i in 0..self.m {
+                    if cb[i] != 0.0 {
+                        d -= cb[i] * self.tab[i][j];
+                    }
+                }
+                let ratio = (d / a).abs();
+                let better = match enter {
+                    None => true,
+                    Some((_, br, ba)) => {
+                        ratio < br - 1e-12 || (ratio <= br + 1e-12 && a.abs() > ba)
+                    }
+                };
+                if better {
+                    enter = Some((j, ratio, a.abs()));
+                }
+            }
+            let Some((j, _, _)) = enter else {
+                return Err(LpStatus::Infeasible);
+            };
+            *iters += 1;
+
+            // Pivot: the entering variable moves by exactly enough to put
+            // the leaving variable on its violated bound.
+            let step = delta / self.tab[r][j];
+            let start = match self.status[j] {
+                ColStatus::AtLower => self.lower[j],
+                ColStatus::AtUpper => self.upper[j],
+                ColStatus::Basic => unreachable!("entering var was nonbasic"),
+            };
+            for i in 0..self.m {
+                if i != r {
+                    self.xb[i] -= self.tab[i][j] * step;
+                }
+            }
+            let leaving_col = self.basis[r];
+            self.status[leaving_col] = if case_above {
+                ColStatus::AtUpper
+            } else {
+                ColStatus::AtLower
+            };
+            self.basis[r] = j;
+            self.status[j] = ColStatus::Basic;
+            self.xb[r] = start + step;
+            self.pivot(r, j);
+        }
+        Err(LpStatus::IterationLimit)
+    }
+
     /// Gauss–Jordan pivot on (row, col).
     fn pivot(&mut self, row: usize, col: usize) {
         let p = self.tab[row][col];
@@ -352,9 +476,37 @@ impl Tableau {
     }
 }
 
+/// A reusable snapshot of a solved simplex state: which columns were
+/// basic and where every nonbasic column rested. Together with the
+/// (layout-stable) [`LpProblem`] it was taken from, this is enough to
+/// refactor `B⁻¹A` from scratch and resume optimization after a bound
+/// change — the warm-start handoff between branch-and-bound nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisSnapshot {
+    /// Basis columns (tableau column indices, artificials included).
+    basis: Vec<usize>,
+    /// Per-column rest status, `ncols` entries.
+    status: Vec<ColStatus>,
+}
+
 /// Solves a standard-form LP (minimize). Returns column values for the
 /// problem's columns (structural + slack), artificials excluded.
 pub fn solve(problem: &LpProblem) -> LpSolution {
+    let mut iters = 0;
+    solve_two_phase(problem, &problem.lower, &problem.upper, &mut iters, false).0
+}
+
+/// Cold two-phase solve under explicit column bounds (`col_lower` /
+/// `col_upper` cover structural + slack columns; artificials are
+/// appended internally). The pivot sequence is exactly the seed
+/// algorithm's — `iters` counting and basis capture are observational.
+fn solve_two_phase(
+    problem: &LpProblem,
+    col_lower: &[f64],
+    col_upper: &[f64],
+    iters: &mut u64,
+    want_basis: bool,
+) -> (LpSolution, Option<BasisSnapshot>) {
     let m = problem.row_count();
     let n = problem.col_count();
     let ncols = n + m; // + artificials
@@ -364,14 +516,14 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
     // (lower, unless upper is finite and |upper| < |lower|).
     let mut status = vec![ColStatus::AtLower; ncols];
     for j in 0..n {
-        if problem.upper[j].is_finite() && problem.upper[j].abs() < problem.lower[j].abs() {
+        if col_upper[j].is_finite() && col_upper[j].abs() < col_lower[j].abs() {
             status[j] = ColStatus::AtUpper;
         }
     }
     let start_value = |j: usize| -> f64 {
         match status[j] {
-            ColStatus::AtLower => problem.lower[j],
-            ColStatus::AtUpper => problem.upper[j],
+            ColStatus::AtLower => col_lower[j],
+            ColStatus::AtUpper => col_upper[j],
             ColStatus::Basic => 0.0,
         }
     };
@@ -388,8 +540,8 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
     // Rows with a negative residual are negated (multiplying an equality
     // by −1 is harmless) so every artificial can enter with coefficient
     // +1 and the initial basis is exactly the identity.
-    let mut lower = problem.lower.clone();
-    let mut upper = problem.upper.clone();
+    let mut lower = col_lower.to_vec();
+    let mut upper = col_upper.to_vec();
     let mut basis = Vec::with_capacity(m);
     let mut xb = Vec::with_capacity(m);
     for i in 0..m {
@@ -424,23 +576,29 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
     for c in phase1_costs.iter_mut().skip(n) {
         *c = 1.0;
     }
-    match tableau.optimize(&phase1_costs, max_iters) {
+    match tableau.optimize(&phase1_costs, max_iters, iters) {
         Ok(w) => {
             if w > FEAS_EPS * (1.0 + problem.rhs.iter().map(|r| r.abs()).sum::<f64>()) {
-                return LpSolution {
-                    status: LpStatus::Infeasible,
-                    objective: 0.0,
-                    values: Vec::new(),
-                };
+                return (
+                    LpSolution {
+                        status: LpStatus::Infeasible,
+                        objective: 0.0,
+                        values: Vec::new(),
+                    },
+                    None,
+                );
             }
         }
         Err(LpStatus::Unbounded) => unreachable!("phase 1 objective is bounded below"),
         Err(s) => {
-            return LpSolution {
-                status: s,
-                objective: 0.0,
-                values: Vec::new(),
-            }
+            return (
+                LpSolution {
+                    status: s,
+                    objective: 0.0,
+                    values: Vec::new(),
+                },
+                None,
+            )
         }
     }
     // Fix artificials at zero for phase 2 (basic-at-zero artificials may
@@ -456,21 +614,228 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
     // Phase 2: the real objective.
     let mut phase2_costs = vec![0.0; ncols];
     phase2_costs[..n].copy_from_slice(&problem.costs);
-    match tableau.optimize(&phase2_costs, max_iters) {
+    match tableau.optimize(&phase2_costs, max_iters, iters) {
         Ok(obj) => {
             let mut values = tableau.values();
             values.truncate(n);
+            let snapshot = want_basis.then(|| BasisSnapshot {
+                basis: tableau.basis.clone(),
+                status: tableau.status.clone(),
+            });
+            (
+                LpSolution {
+                    status: LpStatus::Optimal,
+                    objective: obj + problem.objective_offset,
+                    values,
+                },
+                snapshot,
+            )
+        }
+        Err(s) => (
             LpSolution {
-                status: LpStatus::Optimal,
-                objective: obj + problem.objective_offset,
-                values,
+                status: s,
+                objective: 0.0,
+                values: Vec::new(),
+            },
+            None,
+        ),
+    }
+}
+
+/// Rebuilds a [`Tableau`] from a basis snapshot under new column bounds:
+/// refactors `B⁻¹A` by Gauss–Jordan, assigning each snapshot basis column
+/// the remaining row with the largest pivot. Returns `None` when the
+/// snapshot does not fit this problem or the basis is numerically
+/// singular — callers fall back to a cold solve.
+///
+/// Row scaling from the cold path's sign flips is immaterial: `B⁻¹A`
+/// is invariant under row scaling of `[A | b]`, so artificial columns
+/// are laid down as `+eᵢ` unconditionally here.
+fn warm_tableau(
+    problem: &LpProblem,
+    col_lower: &[f64],
+    col_upper: &[f64],
+    snap: &BasisSnapshot,
+) -> Option<Tableau> {
+    let m = problem.row_count();
+    let n = problem.col_count();
+    let ncols = n + m;
+    if snap.basis.len() != m || snap.status.len() != ncols {
+        return None;
+    }
+
+    let mut dense = vec![vec![0.0_f64; ncols]; m];
+    for (i, row) in problem.rows.iter().enumerate() {
+        for &(j, a) in row {
+            dense[i][j] = a;
+        }
+        dense[i][n + i] = 1.0;
+    }
+    let mut rhs = problem.rhs.clone();
+
+    // Factor the basis: give each basis column a pivot row (largest
+    // remaining magnitude), eliminating it from all other rows and the
+    // transformed RHS.
+    let mut assigned = vec![false; m];
+    let mut row_of = vec![usize::MAX; m];
+    for (k, &c) in snap.basis.iter().enumerate() {
+        if c >= ncols {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (r, &used) in assigned.iter().enumerate() {
+            if used {
+                continue;
+            }
+            let a = dense[r][c].abs();
+            if best.map_or(true, |(_, ba)| a > ba) {
+                best = Some((r, a));
             }
         }
-        Err(s) => LpSolution {
-            status: s,
-            objective: 0.0,
-            values: Vec::new(),
-        },
+        let (r, mag) = best?;
+        if mag <= 1e-8 {
+            return None; // singular basis: cold fallback
+        }
+        let inv = 1.0 / dense[r][c];
+        for v in &mut dense[r] {
+            *v *= inv;
+        }
+        rhs[r] *= inv;
+        let prow = dense[r].clone();
+        let prhs = rhs[r];
+        for i in 0..m {
+            if i == r {
+                continue;
+            }
+            let f = dense[i][c];
+            if f != 0.0 {
+                for (v, pv) in dense[i].iter_mut().zip(&prow) {
+                    *v -= f * pv;
+                }
+                dense[i][c] = 0.0;
+                rhs[i] -= f * prhs;
+            }
+        }
+        assigned[r] = true;
+        row_of[k] = r;
+    }
+
+    // Column bounds in tableau layout; artificials stay pinned at zero
+    // (they were fixed after phase 1 of the solve the snapshot came from).
+    let mut lower = col_lower.to_vec();
+    let mut upper = col_upper.to_vec();
+    lower.resize(ncols, 0.0);
+    upper.resize(ncols, 0.0);
+
+    // Statuses: basis membership wins; other columns keep their snapshot
+    // rest bound, re-read against the *new* bounds — that re-read is the
+    // entire warm start. Inconsistent snapshot rows degrade gracefully.
+    let mut in_basis = vec![false; ncols];
+    let mut basis = vec![0usize; m];
+    for (k, &c) in snap.basis.iter().enumerate() {
+        in_basis[c] = true;
+        basis[row_of[k]] = c;
+    }
+    let mut status = Vec::with_capacity(ncols);
+    for j in 0..ncols {
+        let s = if in_basis[j] {
+            ColStatus::Basic
+        } else {
+            match snap.status[j] {
+                ColStatus::AtUpper if upper[j].is_finite() => ColStatus::AtUpper,
+                _ => ColStatus::AtLower,
+            }
+        };
+        status.push(s);
+    }
+
+    // Basic values: xb = B⁻¹b − Σ (B⁻¹A)ⱼ·xⱼ over nonbasic columns.
+    let mut xb = rhs;
+    for j in 0..ncols {
+        let v = match status[j] {
+            ColStatus::Basic => continue,
+            ColStatus::AtLower => lower[j],
+            ColStatus::AtUpper => upper[j],
+        };
+        if v != 0.0 {
+            for i in 0..m {
+                let a = dense[i][j];
+                if a != 0.0 {
+                    xb[i] -= a * v;
+                }
+            }
+        }
+    }
+
+    Some(Tableau {
+        tab: dense,
+        xb,
+        basis,
+        status,
+        lower,
+        upper,
+        m,
+        ncols,
+    })
+}
+
+/// Warm solve: rebuilds the parent basis under new bounds, restores
+/// primal feasibility with the dual simplex, then polishes with the
+/// primal simplex. `None` means "fall back to a cold solve" (singular
+/// rebuild or iteration trouble); `Some` carries a definitive answer —
+/// including a sound `Infeasible` from the dual ratio test.
+fn solve_warm(
+    problem: &LpProblem,
+    col_lower: &[f64],
+    col_upper: &[f64],
+    snap: &BasisSnapshot,
+    iters: &mut u64,
+) -> Option<(LpSolution, Option<BasisSnapshot>)> {
+    let mut tableau = warm_tableau(problem, col_lower, col_upper, snap)?;
+    let m = problem.row_count();
+    let n = problem.col_count();
+    let ncols = n + m;
+
+    let mut phase2_costs = vec![0.0; ncols];
+    phase2_costs[..n].copy_from_slice(&problem.costs);
+
+    // Dual repair should take a handful of pivots; a long fight means the
+    // parent basis was a bad start, and a cold solve is the better spend.
+    let dual_cap = 100 * m as u64 + 1_000;
+    match tableau.dual_restore(&phase2_costs, dual_cap, iters) {
+        Ok(()) => {}
+        Err(LpStatus::Infeasible) => {
+            return Some((
+                LpSolution {
+                    status: LpStatus::Infeasible,
+                    objective: 0.0,
+                    values: Vec::new(),
+                },
+                None,
+            ))
+        }
+        Err(_) => return None,
+    }
+
+    let max_iters = 200 * (m as u64 + ncols as u64) + 20_000;
+    match tableau.optimize(&phase2_costs, max_iters, iters) {
+        Ok(obj) => {
+            let mut values = tableau.values();
+            values.truncate(n);
+            let next = BasisSnapshot {
+                basis: tableau.basis.clone(),
+                status: tableau.status.clone(),
+            };
+            Some((
+                LpSolution {
+                    status: LpStatus::Optimal,
+                    objective: obj + problem.objective_offset,
+                    values,
+                },
+                Some(next),
+            ))
+        }
+        Err(_) => None,
     }
 }
 
@@ -482,8 +847,22 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
 ///
 /// Maps non-optimal statuses onto [`MilpError`].
 pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)]) -> Result<(f64, Vec<f64>), MilpError> {
+    solve_relaxation_counted(model, bounds).map(|(obj, vals, _)| (obj, vals))
+}
+
+/// [`solve_relaxation`] plus the simplex pivot count of the solve —
+/// same algorithm, same pivot sequence, observational counter only.
+///
+/// # Errors
+///
+/// Maps non-optimal statuses onto [`MilpError`].
+pub fn solve_relaxation_counted(
+    model: &Model,
+    bounds: &[(f64, f64)],
+) -> Result<(f64, Vec<f64>, u64), MilpError> {
     let problem = LpProblem::from_model(model, bounds);
-    let sol = solve(&problem);
+    let mut iters = 0;
+    let (sol, _) = solve_two_phase(&problem, &problem.lower, &problem.upper, &mut iters, false);
     match sol.status {
         LpStatus::Optimal => {
             let sign = match model.sense() {
@@ -509,11 +888,135 @@ pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)]) -> Result<(f64, Ve
                     }
                 }
             }
-            Ok((sign * sol.objective, values))
+            Ok((sign * sol.objective, values, iters))
         }
         LpStatus::Infeasible => Err(MilpError::Infeasible),
         LpStatus::Unbounded => Err(MilpError::Unbounded),
         LpStatus::IterationLimit => Err(MilpError::IterationLimit),
+    }
+}
+
+/// Outcome of one relaxation solve under a [`WarmContext`].
+#[derive(Debug, Clone)]
+pub struct RelaxSolve {
+    /// Objective in the model's own sense.
+    pub objective: f64,
+    /// Model-space variable values (integers snapped when within 1e-7).
+    pub values: Vec<f64>,
+    /// Basis to warm-start child nodes from.
+    pub basis: BasisSnapshot,
+    /// Simplex pivots spent on this solve (dual + primal).
+    pub iterations: u64,
+    /// Whether the warm path produced the answer (`false`: cold solve,
+    /// either by request or after a warm-path fallback).
+    pub warmed: bool,
+}
+
+/// A model's relaxation with a *bound-independent* column layout, built
+/// once per branch-and-bound run. Unlike [`LpProblem::from_model`], no
+/// variable is ever eliminated, so the same [`BasisSnapshot`] indexes
+/// stay valid across nodes — only `lower`/`upper` change. This is the
+/// warm-start engine room: a child node re-solves from its parent's
+/// basis via the dual simplex instead of two cold phases.
+#[derive(Debug, Clone)]
+pub struct WarmContext {
+    problem: LpProblem,
+    /// +1 for minimize models, −1 for maximize (internal form minimizes).
+    sign: f64,
+    /// Model variable count (== structural column count).
+    nvars: usize,
+    /// Model variables of integer kind (for value snapping).
+    int_vars: Vec<usize>,
+}
+
+impl WarmContext {
+    /// Builds the dense relaxation context from the model's own bounds.
+    pub fn new(model: &Model) -> WarmContext {
+        let root: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lower, v.upper)).collect();
+        let problem = LpProblem::from_model_dense(model, &root);
+        let sign = match model.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let int_vars = model
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Integer)
+            .map(|(i, _)| i)
+            .collect();
+        WarmContext {
+            problem,
+            sign,
+            nvars: model.var_count(),
+            int_vars,
+        }
+    }
+
+    /// Solves the relaxation under `bounds`, warm-starting from `basis`
+    /// when given (falling back to a cold solve on numerical failure —
+    /// correctness never depends on the warm path).
+    ///
+    /// # Errors
+    ///
+    /// Maps non-optimal LP statuses onto [`MilpError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.len()` differs from the model's variable count.
+    pub fn solve_relaxation(
+        &self,
+        bounds: &[(f64, f64)],
+        basis: Option<&BasisSnapshot>,
+    ) -> Result<RelaxSolve, MilpError> {
+        assert_eq!(bounds.len(), self.nvars, "bounds length mismatch");
+        // Structural columns map 1:1 onto model variables (dense layout);
+        // intersect node bounds with model bounds defensively, then keep
+        // slack bounds as built.
+        let mut col_lower = self.problem.lower.clone();
+        let mut col_upper = self.problem.upper.clone();
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            col_lower[i] = lo.max(self.problem.lower[i]);
+            col_upper[i] = hi.min(self.problem.upper[i]);
+        }
+
+        let mut iters = 0;
+        let mut warmed = false;
+        let outcome = basis
+            .and_then(|snap| {
+                let out = solve_warm(&self.problem, &col_lower, &col_upper, snap, &mut iters);
+                warmed = out.is_some();
+                out
+            })
+            .unwrap_or_else(|| {
+                let (sol, snap) =
+                    solve_two_phase(&self.problem, &col_lower, &col_upper, &mut iters, true);
+                (sol, snap)
+            });
+        let (sol, snapshot) = outcome;
+
+        match sol.status {
+            LpStatus::Optimal => {
+                let mut values = sol.values;
+                values.truncate(self.nvars);
+                for &j in &self.int_vars {
+                    let r = values[j].round();
+                    if (values[j] - r).abs() < 1e-7 {
+                        values[j] = r;
+                    }
+                }
+                Ok(RelaxSolve {
+                    objective: self.sign * sol.objective,
+                    values,
+                    basis: snapshot.expect("optimal solve returns a basis"),
+                    iterations: iters,
+                    warmed,
+                })
+            }
+            LpStatus::Infeasible => Err(MilpError::Infeasible),
+            LpStatus::Unbounded => Err(MilpError::Unbounded),
+            LpStatus::IterationLimit => Err(MilpError::IterationLimit),
+        }
     }
 }
 
@@ -676,5 +1179,138 @@ mod tests {
         let (obj, vals) = solve_relaxation(&m, &[]).unwrap();
         assert_eq!(obj, 0.0);
         assert!(vals.is_empty());
+    }
+
+    /// A small knapsack-shaped maximize model for warm-start tests.
+    fn warm_test_model() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a", 6.0);
+        let b = m.add_binary("b", 10.0);
+        let c = m.add_binary("c", 12.0);
+        let x = m.add_continuous("x", 0.0, 2.0, 1.0).unwrap();
+        m.add_constraint(
+            "cap",
+            vec![(a, 1.0), (b, 2.0), (c, 3.0), (x, 1.0)],
+            Relation::Le,
+            4.0,
+        )
+        .unwrap();
+        m.add_constraint("mix", vec![(a, 1.0), (x, 1.0)], Relation::Le, 2.5)
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_after_tightening() {
+        let m = warm_test_model();
+        let ctx = WarmContext::new(&m);
+        let root = model_bounds(&m);
+        let parent = ctx.solve_relaxation(&root, None).unwrap();
+        assert!(!parent.warmed);
+
+        // Branch on every binary in both directions; warm objective must
+        // equal the cold objective at each child.
+        for j in 0..3 {
+            for fixed in [0.0, 1.0] {
+                let mut child = root.clone();
+                child[j] = (fixed, fixed);
+                let warm = ctx.solve_relaxation(&child, Some(&parent.basis)).unwrap();
+                let (cold_obj, _) = solve_relaxation(&m, &child).unwrap();
+                assert!(
+                    (warm.objective - cold_obj).abs() < 1e-6,
+                    "var {j} fixed {fixed}: warm {} vs cold {cold_obj}",
+                    warm.objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_solve_detects_infeasible_child() {
+        // x + y = 1 with both fixed to 0 is infeasible.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 2.0);
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Relation::Eq, 1.0)
+            .unwrap();
+        let ctx = WarmContext::new(&m);
+        let root = model_bounds(&m);
+        let parent = ctx.solve_relaxation(&root, None).unwrap();
+        let child = vec![(0.0, 0.0), (0.0, 0.0)];
+        assert_eq!(
+            ctx.solve_relaxation(&child, Some(&parent.basis)).map(|_| ()),
+            Err(MilpError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn warm_chain_stays_consistent() {
+        // Fix binaries one at a time, warm-starting each child from its
+        // parent — the realistic branch-and-bound dive pattern.
+        let m = warm_test_model();
+        let ctx = WarmContext::new(&m);
+        let mut bounds = model_bounds(&m);
+        let mut relax = ctx.solve_relaxation(&bounds, None).unwrap();
+        for (j, fixed) in [(2usize, 1.0), (1usize, 0.0), (0usize, 1.0)] {
+            bounds[j] = (fixed, fixed);
+            relax = match ctx.solve_relaxation(&bounds, Some(&relax.basis)) {
+                Ok(r) => r,
+                Err(e) => panic!("chain step ({j}, {fixed}) failed: {e}"),
+            };
+            let (cold_obj, _) = solve_relaxation(&m, &bounds).unwrap();
+            assert!(
+                (relax.objective - cold_obj).abs() < 1e-6,
+                "step ({j}, {fixed}): warm {} vs cold {cold_obj}",
+                relax.objective
+            );
+        }
+    }
+
+    #[test]
+    fn warm_solve_cheaper_than_cold_on_bigger_lp() {
+        // A 40-binary knapsack with side constraints: warm re-solve after
+        // one branching change should need far fewer pivots than cold.
+        let n = 40usize;
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_binary(format!("x{i}"), ((i * 31 + 7) % 23 + 1) as f64))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, ((i * 17 + 3) % 9 + 1) as f64)),
+            Relation::Le,
+            55.0,
+        )
+        .unwrap();
+        for k in 0..4 {
+            m.add_constraint(
+                format!("side{k}"),
+                vars.iter()
+                    .enumerate()
+                    .filter(|(i, _)| (i + k) % 3 == 0)
+                    .map(|(_, &v)| (v, 1.0)),
+                Relation::Le,
+                7.0,
+            )
+            .unwrap();
+        }
+        let ctx = WarmContext::new(&m);
+        let root: Vec<(f64, f64)> = m.vars.iter().map(|v| (v.lower, v.upper)).collect();
+        let parent = ctx.solve_relaxation(&root, None).unwrap();
+
+        let mut child = root.clone();
+        child[n / 2] = (1.0, 1.0);
+        let warm = ctx.solve_relaxation(&child, Some(&parent.basis)).unwrap();
+        let cold = ctx.solve_relaxation(&child, None).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        assert!(warm.warmed);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} pivots vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
     }
 }

@@ -1,11 +1,30 @@
 //! Branch-and-bound over the LP relaxation.
+//!
+//! Two engines share the search logic contract:
+//!
+//! - **Sequential legacy engine** (`threads == 1` with `warm_lp` off):
+//!   the original single-threaded best-first loop over cold two-phase
+//!   LP solves. Kept byte-for-byte in behaviour as the determinism
+//!   baseline — same node order, same pivots, same answers.
+//! - **Parallel warm engine** (everything else): a worker pool over a
+//!   shared best-first queue. Each node carries its parent's optimal
+//!   basis ([`BasisSnapshot`]); child relaxations re-solve via the dual
+//!   simplex from that basis instead of restarting phase 1, falling
+//!   back to a cold solve on numerical trouble. Workers prune against
+//!   a shared incumbent and stop on a global gap/budget/exhaustion
+//!   condition. With `threads == 1` the engine is fully deterministic.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::{Condvar, Mutex};
+
 use crate::model::{Model, Sense, VarKind};
-use crate::simplex::solve_relaxation;
+use crate::simplex::{solve_relaxation_counted, BasisSnapshot, WarmContext};
 use crate::MilpError;
 
 /// Integrality tolerance: LP values this close to an integer count as
@@ -21,8 +40,17 @@ pub struct SolveConfig {
     /// Stop when `(best_bound − incumbent) / max(|incumbent|, 1)` falls
     /// below this relative gap.
     pub relative_gap: f64,
-    /// Hard cap on explored branch-and-bound nodes.
+    /// Hard cap on explored branch-and-bound nodes (global across
+    /// workers; may overshoot by at most the worker count).
     pub max_nodes: u64,
+    /// Worker threads for the branch-and-bound search. `0` means use
+    /// [`std::thread::available_parallelism`]. `1` is deterministic:
+    /// nodes are processed in exactly the best-first heap order.
+    pub threads: usize,
+    /// Warm-start node relaxations from the parent's simplex basis.
+    /// Setting `threads: 1` *and* `warm_lp: false` reproduces the
+    /// original sequential solver exactly, pivot for pivot.
+    pub warm_lp: bool,
 }
 
 impl Default for SolveConfig {
@@ -31,6 +59,8 @@ impl Default for SolveConfig {
             time_limit: Duration::from_secs(30),
             relative_gap: 1e-6,
             max_nodes: 200_000,
+            threads: 0,
+            warm_lp: true,
         }
     }
 }
@@ -43,6 +73,17 @@ impl SolveConfig {
             ..SolveConfig::default()
         }
     }
+
+    /// The worker count this configuration resolves to on this machine.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
 }
 
 /// How the solve terminated.
@@ -50,8 +91,9 @@ impl SolveConfig {
 pub enum SolveStatus {
     /// Proven optimal within the gap tolerance.
     Optimal,
-    /// Feasible incumbent returned, but the time/node budget expired
-    /// before proving optimality.
+    /// Feasible incumbent returned, but optimality was not proven —
+    /// the time/node budget expired, or nodes were dropped after LP
+    /// failures (see [`MilpSolution::relaxation_failures`]).
     Feasible,
 }
 
@@ -68,6 +110,21 @@ pub struct MilpSolution {
     pub best_bound: f64,
     /// Branch-and-bound nodes explored.
     pub nodes_explored: u64,
+    /// Simplex pivots spent on node relaxations that reached an optimum
+    /// (warm + cold; heuristic dives included, failed/infeasible LPs
+    /// excluded).
+    pub lp_iterations: u64,
+    /// Node relaxations answered from the parent basis via the dual
+    /// simplex.
+    pub warm_starts: u64,
+    /// Node relaxations solved cold (two-phase from scratch), including
+    /// warm-path fallbacks.
+    pub cold_starts: u64,
+    /// Nodes dropped because their relaxation failed for a reason other
+    /// than infeasibility (iteration limit, unboundedness). Non-zero
+    /// means parts of the tree went unexplored: the status is capped at
+    /// [`SolveStatus::Feasible`] rather than claiming optimality.
+    pub relaxation_failures: u64,
 }
 
 impl MilpSolution {
@@ -90,6 +147,29 @@ impl MilpSolution {
     }
 }
 
+impl fmt::Display for MilpSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let status = match self.status {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Feasible => "feasible",
+        };
+        write!(
+            f,
+            "{status} objective={:.6} bound={:.6} nodes={} lp_iters={} warm={} cold={}",
+            self.objective,
+            self.best_bound,
+            self.nodes_explored,
+            self.lp_iterations,
+            self.warm_starts,
+            self.cold_starts,
+        )?;
+        if self.relaxation_failures > 0 {
+            write!(f, " relaxation_failures={}", self.relaxation_failures)?;
+        }
+        Ok(())
+    }
+}
+
 /// A branch-and-bound node: bound overrides relative to the model.
 #[derive(Debug, Clone)]
 struct Node {
@@ -97,6 +177,9 @@ struct Node {
     /// LP bound inherited from the parent (in internal maximize terms).
     bound: f64,
     depth: u32,
+    /// Parent's optimal basis for warm-starting this node's relaxation
+    /// (shared between siblings). `None` in the legacy engine.
+    basis: Option<Arc<BasisSnapshot>>,
 }
 
 /// Heap ordering: best bound first, deeper first on ties (dives toward
@@ -121,6 +204,13 @@ impl Ord for HeapNode {
             .total_cmp(&other.0.bound)
             .then(self.0.depth.cmp(&other.0.depth))
     }
+}
+
+/// Observational LP-work counters threaded through the sequential path.
+#[derive(Default)]
+struct LpCounters {
+    lp_iterations: u64,
+    cold_starts: u64,
 }
 
 impl Model {
@@ -154,6 +244,22 @@ impl Model {
         config: &SolveConfig,
         warm_start: Option<&[f64]>,
     ) -> Result<MilpSolution, MilpError> {
+        let threads = config.resolved_threads().max(1);
+        if threads == 1 && !config.warm_lp {
+            self.solve_sequential(config, warm_start)
+        } else {
+            self.solve_parallel(config, warm_start, threads)
+        }
+    }
+
+    /// The original sequential engine: best-first over cold LP solves.
+    /// This is the determinism baseline — node order and pivot sequence
+    /// match the pre-parallel solver exactly.
+    fn solve_sequential(
+        &self,
+        config: &SolveConfig,
+        warm_start: Option<&[f64]>,
+    ) -> Result<MilpSolution, MilpError> {
         let start = Instant::now();
         // Internal sense: maximize (flip objective for minimize models).
         let internal = |obj: f64| match self.sense {
@@ -171,8 +277,27 @@ impl Model {
             .map(|(i, _)| i)
             .collect();
 
-        let (root_obj, root_vals) = solve_relaxation(self, &root_bounds)?;
+        let mut counters = LpCounters::default();
+        let (root_obj, root_vals, root_iters) = solve_relaxation_counted(self, &root_bounds)?;
+        counters.lp_iterations += root_iters;
+        counters.cold_starts += 1;
         let mut nodes_explored: u64 = 1;
+        let finish = |status: SolveStatus,
+                      obj: f64,
+                      values: Vec<f64>,
+                      best_bound: f64,
+                      nodes_explored: u64,
+                      counters: &LpCounters| MilpSolution {
+            status,
+            objective: obj,
+            values,
+            best_bound,
+            nodes_explored,
+            lp_iterations: counters.lp_iterations,
+            warm_starts: 0,
+            cold_starts: counters.cold_starts,
+            relaxation_failures: 0,
+        };
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None; // internal objective
         if let Some(ws) = warm_start {
@@ -200,13 +325,15 @@ impl Model {
             let vals = rounded(&root_vals, &int_vars);
             consider(&vals, &mut incumbent);
             if let Some((obj, values)) = incumbent {
-                return Ok(MilpSolution {
-                    status: SolveStatus::Optimal,
-                    objective: external(obj),
+                let e = external(obj);
+                return Ok(finish(
+                    SolveStatus::Optimal,
+                    e,
                     values,
-                    best_bound: external(obj),
+                    e,
                     nodes_explored,
-                });
+                    &counters,
+                ));
             }
         }
         // Heuristics at the root for an early incumbent: cheap rounding,
@@ -214,7 +341,7 @@ impl Model {
         let vals = rounded(&root_vals, &int_vars);
         consider(&vals, &mut incumbent);
         let deadline = start + config.time_limit;
-        if let Some(dived) = self.dive(&root_bounds, &int_vars, deadline) {
+        if let Some(dived) = self.dive(&root_bounds, &int_vars, deadline, &mut counters) {
             consider(&dived, &mut incumbent);
         }
 
@@ -223,6 +350,7 @@ impl Model {
             bounds: root_bounds,
             bound: internal(root_obj),
             depth: 0,
+            basis: None,
         }));
         let mut best_bound;
 
@@ -233,31 +361,37 @@ impl Model {
                 if gap <= config.relative_gap {
                     let (obj, values) = incumbent.expect("checked above");
                     // The proven bound cannot be worse than the incumbent.
-                    return Ok(MilpSolution {
-                        status: SolveStatus::Optimal,
-                        objective: external(obj),
+                    return Ok(finish(
+                        SolveStatus::Optimal,
+                        external(obj),
                         values,
-                        best_bound: external(best_bound.max(obj)),
+                        external(best_bound.max(obj)),
                         nodes_explored,
-                    });
+                        &counters,
+                    ));
                 }
             }
             if start.elapsed() >= config.time_limit || nodes_explored >= config.max_nodes {
                 return match incumbent {
-                    Some((obj, values)) => Ok(MilpSolution {
-                        status: SolveStatus::Feasible,
-                        objective: external(obj),
+                    Some((obj, values)) => Ok(finish(
+                        SolveStatus::Feasible,
+                        external(obj),
                         values,
-                        best_bound: external(best_bound),
+                        external(best_bound),
                         nodes_explored,
-                    }),
+                        &counters,
+                    )),
                     None => Err(MilpError::TimeLimitNoSolution),
                 };
             }
 
             // Solve this node's relaxation.
-            let (obj, vals) = match solve_relaxation(self, &node.bounds) {
-                Ok(r) => r,
+            let (obj, vals) = match solve_relaxation_counted(self, &node.bounds) {
+                Ok((obj, vals, iters)) => {
+                    counters.lp_iterations += iters;
+                    counters.cold_starts += 1;
+                    (obj, vals)
+                }
                 Err(MilpError::Infeasible) => continue,
                 Err(e) => return Err(e),
             };
@@ -291,7 +425,9 @@ impl Model {
                     // incumbents (diving is ~|int_vars| LP solves, so
                     // keep it occasional).
                     if nodes_explored % 128 == 0 {
-                        if let Some(dived) = self.dive(&node.bounds, &int_vars, deadline) {
+                        if let Some(dived) =
+                            self.dive(&node.bounds, &int_vars, deadline, &mut counters)
+                        {
                             consider(&dived, &mut incumbent);
                         }
                     }
@@ -308,6 +444,7 @@ impl Model {
                             bounds: b,
                             bound: node_bound,
                             depth: node.depth + 1,
+                            basis: None,
                         }));
                     }
                     // Up branch: x >= ceil.
@@ -319,6 +456,7 @@ impl Model {
                             bounds: b,
                             bound: node_bound,
                             depth: node.depth + 1,
+                            basis: None,
                         }));
                     }
                 }
@@ -327,13 +465,17 @@ impl Model {
 
         // Tree exhausted: incumbent (if any) is optimal.
         match incumbent {
-            Some((obj, values)) => Ok(MilpSolution {
-                status: SolveStatus::Optimal,
-                objective: external(obj),
-                values,
-                best_bound: external(obj),
-                nodes_explored,
-            }),
+            Some((obj, values)) => {
+                let e = external(obj);
+                Ok(finish(
+                    SolveStatus::Optimal,
+                    e,
+                    values,
+                    e,
+                    nodes_explored,
+                    &counters,
+                ))
+            }
             None => Err(MilpError::Infeasible),
         }
     }
@@ -351,6 +493,7 @@ impl Model {
         bounds: &[(f64, f64)],
         int_vars: &[usize],
         deadline: Instant,
+        counters: &mut LpCounters,
     ) -> Option<Vec<f64>> {
         let mut b = bounds.to_vec();
         // Each round fixes a *batch* of near-integral variables (plus at
@@ -360,8 +503,12 @@ impl Model {
             if Instant::now() >= deadline {
                 return None;
             }
-            let (_, vals) = match solve_relaxation(self, &b) {
-                Ok(r) => r,
+            let (_, vals) = match solve_relaxation_counted(self, &b) {
+                Ok((obj, vals, iters)) => {
+                    counters.lp_iterations += iters;
+                    counters.cold_starts += 1;
+                    (obj, vals)
+                }
                 Err(_) => return None, // infeasible dive: give up
             };
             let mut fractional: Vec<(usize, f64, f64)> = int_vars
@@ -390,6 +537,530 @@ impl Model {
             }
         }
         None
+    }
+}
+
+/// Why the parallel search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stop {
+    /// Global bound closed to within the relative gap of the incumbent.
+    GapReached,
+    /// Time limit or node cap hit.
+    Budget,
+    /// Queue drained with no work in flight.
+    Exhausted,
+}
+
+/// Queue state shared by the worker pool, guarded by one mutex.
+struct SearchQueue {
+    heap: BinaryHeap<HeapNode>,
+    /// Per-worker bound of the node currently being processed; `None`
+    /// when idle. Together with the heap top this yields the global
+    /// best bound (children never exceed their parent's bound).
+    in_flight: Vec<Option<f64>>,
+    stop: Option<Stop>,
+    /// Global bound recorded by whichever worker set `stop`.
+    stop_bound: f64,
+}
+
+/// Everything the workers share, borrowed for the scope of the solve.
+struct Shared<'a> {
+    model: &'a Model,
+    ctx: WarmContext,
+    int_vars: Vec<usize>,
+    deadline: Instant,
+    relative_gap: f64,
+    max_nodes: u64,
+    warm_lp: bool,
+    queue: Mutex<SearchQueue>,
+    work_cv: Condvar,
+    /// Best integer-feasible point, internal (maximize) objective.
+    incumbent: Mutex<Option<(f64, Vec<f64>)>>,
+    /// Highest bound among nodes dropped after LP failures; NEG_INFINITY
+    /// when none. Keeps `best_bound` honest when the tree has holes.
+    failed_bound: Mutex<f64>,
+    nodes_explored: AtomicU64,
+    lp_iterations: AtomicU64,
+    warm_starts: AtomicU64,
+    cold_starts: AtomicU64,
+    relaxation_failures: AtomicU64,
+}
+
+impl Shared<'_> {
+    fn internal(&self, obj: f64) -> f64 {
+        match self.model.sense {
+            Sense::Maximize => obj,
+            Sense::Minimize => -obj,
+        }
+    }
+
+    /// Offers a candidate to the shared incumbent (validating
+    /// feasibility), keeping the better of the two.
+    fn consider(&self, vals: &[f64]) {
+        if !self.model.is_feasible(vals, 1e-6) {
+            return;
+        }
+        let obj = self.internal(self.model.objective_value(vals));
+        let mut inc = self.incumbent.lock();
+        match &*inc {
+            Some((best, _)) if *best >= obj => {}
+            _ => *inc = Some((obj, vals.to_vec())),
+        }
+    }
+
+    fn incumbent_objective(&self) -> Option<f64> {
+        self.incumbent.lock().as_ref().map(|(o, _)| *o)
+    }
+
+    /// Marks worker `w` idle; declares exhaustion when nothing is queued
+    /// or running. Always wakes waiters (a pushed child or the final
+    /// stop both need the nudge).
+    fn finish_node(&self, w: usize) {
+        let mut q = self.queue.lock();
+        q.in_flight[w] = None;
+        if q.stop.is_none() && q.heap.is_empty() && q.in_flight.iter().all(Option::is_none) {
+            q.stop = Some(Stop::Exhausted);
+        }
+        self.work_cv.notify_all();
+    }
+
+    fn request_stop(&self, w: usize, stop: Stop, bound: f64) {
+        let mut q = self.queue.lock();
+        if q.stop.is_none() {
+            q.stop = Some(stop);
+            q.stop_bound = bound;
+        }
+        q.in_flight[w] = None;
+        self.work_cv.notify_all();
+    }
+
+    /// One counted LP solve for the dive.
+    fn dive_lp(
+        &self,
+        bounds: &[(f64, f64)],
+        basis: Option<&BasisSnapshot>,
+    ) -> Option<crate::simplex::RelaxSolve> {
+        let basis = if self.warm_lp { basis } else { None };
+        let relax = self.ctx.solve_relaxation(bounds, basis).ok()?;
+        self.lp_iterations
+            .fetch_add(relax.iterations, AtomicOrdering::Relaxed);
+        if relax.warmed {
+            self.warm_starts.fetch_add(1, AtomicOrdering::Relaxed);
+        } else {
+            self.cold_starts.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        Some(relax)
+    }
+
+    /// Warm diving heuristic: like the sequential dive, but each step
+    /// re-solves from the previous step's basis, and an infeasible batch
+    /// fix backtracks to a single-variable fix (either side) before the
+    /// dive gives up — incumbents in the parallel engine come almost
+    /// entirely from dives, so a fragile dive starves the whole search.
+    fn dive_warm(&self, bounds: &[(f64, f64)], basis: Option<&BasisSnapshot>) -> Option<Vec<f64>> {
+        let mut b = bounds.to_vec();
+        let mut relax = self.dive_lp(&b, basis)?;
+        for _ in 0..(self.int_vars.len() + 1) {
+            if Instant::now() >= self.deadline {
+                return None;
+            }
+            let vals = &relax.values;
+            let mut fractional: Vec<(usize, f64, f64)> = self
+                .int_vars
+                .iter()
+                .filter_map(|&j| {
+                    let dist = (vals[j] - vals[j].round()).abs();
+                    (dist > INT_EPS).then_some((j, vals[j], dist))
+                })
+                .collect();
+            if fractional.is_empty() {
+                let snapped = rounded(vals, &self.int_vars);
+                return self.model.is_feasible(&snapped, 1e-6).then_some(snapped);
+            }
+            fractional.sort_by(|a, b| a.2.total_cmp(&b.2));
+            let &(j0, x0, _) = fractional.first().expect("nonempty");
+            // Fix attempts, most to least aggressive: the near-integral
+            // batch, then the least-fractional variable alone (nearest
+            // side, then the other side).
+            let mut advanced = false;
+            for attempt in 0..3u8 {
+                let mut nb = b.clone();
+                let mut fixed_any = false;
+                match attempt {
+                    0 => {
+                        for &(j, x, dist) in &fractional {
+                            if nb[j].0 != nb[j].1 && (dist <= 0.1 || !fixed_any) {
+                                let (lo, hi) = nb[j];
+                                let v = x.round().clamp(lo, hi);
+                                nb[j] = (v, v);
+                                fixed_any = true;
+                            }
+                        }
+                    }
+                    1 | 2 => {
+                        if b[j0].0 != b[j0].1 {
+                            let (lo, hi) = b[j0];
+                            let near = x0.round();
+                            let v = if attempt == 1 {
+                                near
+                            } else if near >= x0 {
+                                x0.floor()
+                            } else {
+                                x0.ceil()
+                            }
+                            .clamp(lo, hi);
+                            nb[j0] = (v, v);
+                            fixed_any = true;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                if !fixed_any || nb == b {
+                    continue;
+                }
+                if let Some(r) = self.dive_lp(&nb, Some(&relax.basis)) {
+                    b = nb;
+                    relax = r;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// One worker's search loop.
+    fn worker(&self, w: usize) {
+        loop {
+            // Pull the best node; compute the global bound while holding
+            // the lock so in-flight peers are accounted for.
+            let (node, global_bound) = {
+                let mut q = self.queue.lock();
+                loop {
+                    if q.stop.is_some() {
+                        return;
+                    }
+                    if let Some(HeapNode(node)) = q.heap.pop() {
+                        q.in_flight[w] = Some(node.bound);
+                        let mut g = node.bound;
+                        for b in q.in_flight.iter().flatten() {
+                            g = g.max(*b);
+                        }
+                        if let Some(top) = q.heap.peek() {
+                            g = g.max(top.0.bound);
+                        }
+                        break (node, g);
+                    }
+                    if q.in_flight.iter().all(Option::is_none) {
+                        q.stop = Some(Stop::Exhausted);
+                        self.work_cv.notify_all();
+                        return;
+                    }
+                    // Peers are still expanding; wait for pushes (with a
+                    // timeout so deadline expiry cannot strand us).
+                    self.work_cv.wait_for(&mut q, Duration::from_millis(20));
+                }
+            };
+
+            let inc_obj = self.incumbent_objective();
+            if let Some(inc) = inc_obj {
+                let gap = (global_bound - inc) / inc.abs().max(1.0);
+                if gap <= self.relative_gap {
+                    self.request_stop(w, Stop::GapReached, global_bound);
+                    return;
+                }
+            }
+            if Instant::now() >= self.deadline
+                || self.nodes_explored.load(AtomicOrdering::Relaxed) >= self.max_nodes
+            {
+                self.request_stop(w, Stop::Budget, global_bound);
+                return;
+            }
+            if let Some(inc) = inc_obj {
+                if node.bound <= inc + self.relative_gap * inc.abs().max(1.0) {
+                    self.finish_node(w); // pruned by bound
+                    continue;
+                }
+            }
+
+            // Solve this node's relaxation (warm from the parent basis
+            // when allowed; `solve_relaxation` falls back cold itself).
+            let basis_ref = if self.warm_lp {
+                node.basis.as_deref()
+            } else {
+                None
+            };
+            let relax = match self.ctx.solve_relaxation(&node.bounds, basis_ref) {
+                Ok(r) => r,
+                Err(MilpError::Infeasible) => {
+                    self.finish_node(w);
+                    continue;
+                }
+                Err(_) => {
+                    // Numerical failure: drop the node but record the
+                    // hole so the final status/bound stay honest.
+                    self.relaxation_failures
+                        .fetch_add(1, AtomicOrdering::Relaxed);
+                    let mut fb = self.failed_bound.lock();
+                    *fb = fb.max(node.bound);
+                    drop(fb);
+                    self.finish_node(w);
+                    continue;
+                }
+            };
+            self.lp_iterations
+                .fetch_add(relax.iterations, AtomicOrdering::Relaxed);
+            if relax.warmed {
+                self.warm_starts.fetch_add(1, AtomicOrdering::Relaxed);
+            } else {
+                self.cold_starts.fetch_add(1, AtomicOrdering::Relaxed);
+            }
+            let explored = self.nodes_explored.fetch_add(1, AtomicOrdering::Relaxed) + 1;
+
+            let node_bound = self.internal(relax.objective);
+            if let Some(inc) = self.incumbent_objective() {
+                if node_bound <= inc + self.relative_gap * inc.abs().max(1.0) {
+                    self.finish_node(w); // pruned by bound
+                    continue;
+                }
+            }
+
+            // Find the most fractional integer variable.
+            let vals = &relax.values;
+            let mut branch_var: Option<(usize, f64)> = None;
+            for &j in &self.int_vars {
+                let frac = (vals[j] - vals[j].round()).abs();
+                if frac > INT_EPS {
+                    let score = (vals[j] - vals[j].floor() - 0.5).abs();
+                    match branch_var {
+                        Some((_, best)) if best <= score => {}
+                        _ => branch_var = Some((j, score)),
+                    }
+                }
+            }
+            match branch_var {
+                None => {
+                    // Integer feasible.
+                    let snapped = rounded(vals, &self.int_vars);
+                    self.consider(&snapped);
+                }
+                Some((j, _)) => {
+                    // Dive eagerly until a first incumbent exists (without
+                    // one, nothing prunes and a budgeted solve can end
+                    // empty-handed), occasionally afterwards.
+                    let cadence = if self.incumbent_objective().is_none() {
+                        16
+                    } else {
+                        128
+                    };
+                    if explored % cadence == 0 {
+                        if let Some(dived) = self.dive_warm(&node.bounds, Some(&relax.basis)) {
+                            self.consider(&dived);
+                        }
+                    }
+                    let snapped = rounded(vals, &self.int_vars);
+                    self.consider(&snapped);
+
+                    let x = vals[j];
+                    let (lo, hi) = node.bounds[j];
+                    let child_basis = Arc::new(relax.basis);
+                    let mut children = Vec::with_capacity(2);
+                    // Down branch: x <= floor.
+                    let down_hi = x.floor();
+                    if down_hi >= lo - INT_EPS {
+                        let mut b = node.bounds.clone();
+                        b[j] = (lo, down_hi.max(lo));
+                        children.push(HeapNode(Node {
+                            bounds: b,
+                            bound: node_bound,
+                            depth: node.depth + 1,
+                            basis: Some(Arc::clone(&child_basis)),
+                        }));
+                    }
+                    // Up branch: x >= ceil.
+                    let up_lo = x.ceil();
+                    if up_lo <= hi + INT_EPS {
+                        let mut b = node.bounds.clone();
+                        b[j] = (up_lo.min(hi), hi);
+                        children.push(HeapNode(Node {
+                            bounds: b,
+                            bound: node_bound,
+                            depth: node.depth + 1,
+                            basis: Some(child_basis),
+                        }));
+                    }
+                    if !children.is_empty() {
+                        let mut q = self.queue.lock();
+                        for c in children {
+                            q.heap.push(c);
+                        }
+                    }
+                }
+            }
+            self.finish_node(w);
+        }
+    }
+}
+
+impl Model {
+    /// The parallel warm engine: a pool of `threads` workers over a
+    /// shared best-first queue with warm-started relaxations. With
+    /// `threads == 1`, processing order is deterministic.
+    fn solve_parallel(
+        &self,
+        config: &SolveConfig,
+        warm_start: Option<&[f64]>,
+        threads: usize,
+    ) -> Result<MilpSolution, MilpError> {
+        let start = Instant::now();
+        let internal = |obj: f64| match self.sense {
+            Sense::Maximize => obj,
+            Sense::Minimize => -obj,
+        };
+        let external = internal; // involution
+
+        let root_bounds: Vec<(f64, f64)> = self.vars.iter().map(|v| (v.lower, v.upper)).collect();
+        let int_vars: Vec<usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Integer)
+            .map(|(i, _)| i)
+            .collect();
+
+        let ctx = WarmContext::new(self);
+        // Root relaxation failures abort the solve, exactly like the
+        // sequential engine — there is no tree to fall back on yet.
+        let root = ctx.solve_relaxation(&root_bounds, None)?;
+
+        let shared = Shared {
+            model: self,
+            ctx,
+            int_vars,
+            deadline: start + config.time_limit,
+            relative_gap: config.relative_gap,
+            max_nodes: config.max_nodes,
+            warm_lp: config.warm_lp,
+            queue: Mutex::new(SearchQueue {
+                heap: BinaryHeap::new(),
+                in_flight: vec![None; threads],
+                stop: None,
+                stop_bound: f64::NEG_INFINITY,
+            }),
+            work_cv: Condvar::new(),
+            incumbent: Mutex::new(None),
+            failed_bound: Mutex::new(f64::NEG_INFINITY),
+            nodes_explored: AtomicU64::new(1),
+            lp_iterations: AtomicU64::new(root.iterations),
+            warm_starts: AtomicU64::new(0),
+            cold_starts: AtomicU64::new(1),
+            relaxation_failures: AtomicU64::new(0),
+        };
+
+        if let Some(ws) = warm_start {
+            if ws.len() == self.vars.len() && self.is_feasible(ws, 1e-6) {
+                let snapped = rounded(ws, &shared.int_vars);
+                shared.consider(&snapped);
+            }
+        }
+
+        let collect = |status: SolveStatus, objective: f64, values: Vec<f64>, best_bound: f64| {
+            MilpSolution {
+                status,
+                objective,
+                values,
+                best_bound,
+                nodes_explored: shared.nodes_explored.load(AtomicOrdering::Relaxed),
+                lp_iterations: shared.lp_iterations.load(AtomicOrdering::Relaxed),
+                warm_starts: shared.warm_starts.load(AtomicOrdering::Relaxed),
+                cold_starts: shared.cold_starts.load(AtomicOrdering::Relaxed),
+                relaxation_failures: shared.relaxation_failures.load(AtomicOrdering::Relaxed),
+            }
+        };
+
+        // Integral root: optimal outright (if it validates).
+        if is_integral(&root.values, &shared.int_vars) {
+            let snapped = rounded(&root.values, &shared.int_vars);
+            shared.consider(&snapped);
+            let inc = shared.incumbent.lock().take();
+            if let Some((obj, values)) = inc {
+                let e = external(obj);
+                return Ok(collect(SolveStatus::Optimal, e, values, e));
+            }
+        }
+        // Root heuristics: rounding, then a warm LP-guided dive.
+        let snapped = rounded(&root.values, &shared.int_vars);
+        shared.consider(&snapped);
+        if let Some(dived) = shared.dive_warm(&root_bounds, Some(&root.basis)) {
+            shared.consider(&dived);
+        }
+
+        let root_bound = internal(root.objective);
+        shared.queue.lock().heap.push(HeapNode(Node {
+            bounds: root_bounds,
+            bound: root_bound,
+            depth: 0,
+            basis: Some(Arc::new(root.basis)),
+        }));
+
+        crossbeam::thread::scope(|s| {
+            for w in 0..threads {
+                let shared = &shared;
+                s.spawn(move |_| shared.worker(w));
+            }
+        })
+        .expect("branch-and-bound worker panicked");
+
+        let (stop, stop_bound) = {
+            let q = shared.queue.lock();
+            (q.stop.unwrap_or(Stop::Exhausted), q.stop_bound)
+        };
+        let incumbent = shared.incumbent.lock().take();
+        let failures = shared.relaxation_failures.load(AtomicOrdering::Relaxed);
+        let failed_bound = *shared.failed_bound.lock();
+
+        match stop {
+            Stop::GapReached => {
+                let (obj, values) = incumbent.expect("gap stop implies an incumbent");
+                Ok(collect(
+                    SolveStatus::Optimal,
+                    external(obj),
+                    values,
+                    external(stop_bound.max(obj)),
+                ))
+            }
+            Stop::Budget => match incumbent {
+                Some((obj, values)) => Ok(collect(
+                    SolveStatus::Feasible,
+                    external(obj),
+                    values,
+                    external(stop_bound.max(obj)),
+                )),
+                None => Err(MilpError::TimeLimitNoSolution),
+            },
+            Stop::Exhausted => match incumbent {
+                Some((obj, values)) => {
+                    // With dropped nodes the tree has holes: optimality
+                    // cannot be claimed, and the bound must cover them.
+                    if failures > 0 {
+                        Ok(collect(
+                            SolveStatus::Feasible,
+                            external(obj),
+                            values,
+                            external(failed_bound.max(obj)),
+                        ))
+                    } else {
+                        let e = external(obj);
+                        Ok(collect(SolveStatus::Optimal, e, values, e))
+                    }
+                }
+                None if failures > 0 => Err(MilpError::IterationLimit),
+                None => Err(MilpError::Infeasible),
+            },
+        }
     }
 }
 
@@ -618,5 +1289,140 @@ mod tests {
         assert!(sol.best_bound >= sol.objective - 1e-6);
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert!((sol.objective - 4.0).abs() < 1e-6);
+    }
+
+    /// A mid-sized mixed model with a unique optimum for engine-parity
+    /// tests.
+    fn parity_model() -> Model {
+        let n = 16usize;
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_binary(format!("x{i}"), ((i * 29 + 13) % 31 + 1) as f64))
+            .collect();
+        let y = m.add_continuous("y", 0.0, 3.0, 0.5).unwrap();
+        m.add_constraint(
+            "cap",
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, ((i * 19 + 5) % 11 + 1) as f64))
+                .chain(std::iter::once((y, 2.0))),
+            Relation::Le,
+            31.0,
+        )
+        .unwrap();
+        for k in 0..3 {
+            m.add_constraint(
+                format!("side{k}"),
+                vars.iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 3 == k)
+                    .map(|(_, &v)| (v, 1.0)),
+                Relation::Le,
+                4.0,
+            )
+            .unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn engines_agree_on_objective() {
+        let m = parity_model();
+        let legacy = SolveConfig {
+            threads: 1,
+            warm_lp: false,
+            ..SolveConfig::default()
+        };
+        let warm1 = SolveConfig {
+            threads: 1,
+            warm_lp: true,
+            ..SolveConfig::default()
+        };
+        let warm4 = SolveConfig {
+            threads: 4,
+            warm_lp: true,
+            ..SolveConfig::default()
+        };
+        let a = m.solve(&legacy).unwrap();
+        let b = m.solve(&warm1).unwrap();
+        let c = m.solve(&warm4).unwrap();
+        assert_eq!(a.status, SolveStatus::Optimal);
+        assert_eq!(b.status, SolveStatus::Optimal);
+        assert_eq!(c.status, SolveStatus::Optimal);
+        assert!((a.objective - b.objective).abs() < 1e-6, "{} vs {}", a.objective, b.objective);
+        assert!((a.objective - c.objective).abs() < 1e-6, "{} vs {}", a.objective, c.objective);
+    }
+
+    #[test]
+    fn warm_engine_reports_warm_starts() {
+        let m = parity_model();
+        let cfg = SolveConfig {
+            threads: 1,
+            warm_lp: true,
+            ..SolveConfig::default()
+        };
+        let sol = m.solve(&cfg).unwrap();
+        assert!(
+            sol.warm_starts > 0,
+            "expected warm starts, got {sol}",
+        );
+        assert_eq!(sol.relaxation_failures, 0);
+    }
+
+    #[test]
+    fn legacy_engine_reports_cold_only() {
+        let m = parity_model();
+        let cfg = SolveConfig {
+            threads: 1,
+            warm_lp: false,
+            ..SolveConfig::default()
+        };
+        let sol = m.solve(&cfg).unwrap();
+        assert_eq!(sol.warm_starts, 0);
+        assert!(sol.cold_starts >= sol.nodes_explored);
+        assert!(sol.lp_iterations > 0);
+        assert_eq!(sol.relaxation_failures, 0);
+    }
+
+    #[test]
+    fn display_summarizes_solution() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a", 3.0);
+        m.add_constraint("c", vec![(a, 1.0)], Relation::Le, 1.0)
+            .unwrap();
+        let sol = m.solve(&SolveConfig::default()).unwrap();
+        let text = sol.to_string();
+        assert!(text.starts_with("optimal"), "{text}");
+        assert!(text.contains("nodes="), "{text}");
+        assert!(!text.contains("relaxation_failures"), "{text}");
+    }
+
+    #[test]
+    fn parallel_respects_max_nodes() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..24)
+            .map(|i| m.add_binary(format!("x{i}"), 1.0 + (i % 5) as f64))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 3) as f64)),
+            Relation::Le,
+            13.0,
+        )
+        .unwrap();
+        let cfg = SolveConfig {
+            threads: 4,
+            max_nodes: 16,
+            ..SolveConfig::default()
+        };
+        match m.solve(&cfg) {
+            Ok(sol) => {
+                // Overshoot is bounded by the worker count.
+                assert!(sol.nodes_explored <= 16 + 4, "nodes {}", sol.nodes_explored);
+                assert!(m.is_feasible(&sol.values, 1e-6));
+            }
+            Err(MilpError::TimeLimitNoSolution) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Property tests: the MILP solver against brute force and its own LP bound.
 
 use flex_milp::simplex::solve_relaxation;
-use flex_milp::{Model, Relation, Sense, SolveConfig};
+use flex_milp::{Model, Relation, Sense, SolveConfig, VarKind};
 use proptest::prelude::*;
 
 /// Builds a random feasible maximize-LP: non-negative variables with upper
@@ -67,6 +67,48 @@ fn brute_force_knapsack(values: &[f64], weights: &[f64], cap: f64) -> f64 {
         }
     }
     best
+}
+
+/// A random mixed-integer maximize model: a blend of integer and
+/// continuous variables, `Σ aᵢxᵢ ≤ b` rows with non-negative
+/// coefficients (x = 0 always feasible, so every model solves).
+fn arb_mip() -> impl Strategy<Value = Model> {
+    // (is_integer, objective, upper bound)
+    let var = (proptest::bool::ANY, 0.1f64..10.0, 1.0f64..4.0);
+    let vars = proptest::collection::vec(var, 2..8);
+    let rows = proptest::collection::vec(
+        (proptest::collection::vec(0.0f64..5.0, 8), 2.0f64..30.0),
+        1..5,
+    );
+    (vars, rows).prop_map(|(vars, rows)| {
+        let mut m = Model::new(Sense::Maximize);
+        let ids: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, (is_int, obj, ub))| {
+                if *is_int {
+                    m.add_var(format!("z{i}"), VarKind::Integer, 0.0, ub.round().max(1.0), *obj)
+                        .unwrap()
+                } else {
+                    m.add_continuous(format!("x{i}"), 0.0, *ub, *obj).unwrap()
+                }
+            })
+            .collect();
+        for (k, (coeffs, rhs)) in rows.iter().enumerate() {
+            let terms: Vec<_> = ids.iter().zip(coeffs).map(|(&id, &c)| (id, c)).collect();
+            m.add_constraint(format!("r{k}"), terms, Relation::Le, *rhs)
+                .unwrap();
+        }
+        m
+    })
+}
+
+fn config_for(threads: usize, warm_lp: bool) -> SolveConfig {
+    SolveConfig {
+        threads,
+        warm_lp,
+        ..SolveConfig::default()
+    }
 }
 
 /// Regression for a phase-1 bug: rows whose initial residual is negative
@@ -155,5 +197,37 @@ proptest! {
         prop_assert!(sol.objective <= lp_obj + 1e-6,
             "integer {} exceeds relaxation {}", sol.objective, lp_obj);
         prop_assert!(sol.best_bound + 1e-6 >= sol.objective);
+    }
+
+    /// The parallel engine finds the same optimal objective as a
+    /// single-threaded solve, at 2 and 4 workers.
+    #[test]
+    fn parallel_solver_matches_single_thread(m in arb_mip()) {
+        let reference = m.solve(&config_for(1, true)).unwrap();
+        for threads in [2usize, 4] {
+            let sol = m.solve(&config_for(threads, true)).unwrap();
+            prop_assert!(
+                (sol.objective - reference.objective).abs() < 1e-6,
+                "threads={threads}: {} vs {}", sol.objective, reference.objective
+            );
+            prop_assert!(m.is_feasible(&sol.values, 1e-6));
+            prop_assert_eq!(sol.relaxation_failures, 0);
+        }
+    }
+
+    /// Warm-started node relaxations change the work done, never the
+    /// answer: objectives match cold-started solves, and warm never
+    /// spends more simplex pivots than cold.
+    #[test]
+    fn warm_starts_match_cold_starts(m in arb_mip()) {
+        let cold = m.solve(&config_for(1, false)).unwrap();
+        let warm = m.solve(&config_for(1, true)).unwrap();
+        prop_assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}", warm.objective, cold.objective
+        );
+        prop_assert!(m.is_feasible(&warm.values, 1e-6));
+        prop_assert_eq!(warm.relaxation_failures, 0);
+        prop_assert_eq!(cold.warm_starts, 0);
     }
 }

@@ -328,16 +328,22 @@ fn solve_combined(
     // must not be pre-packed at full weight.
     let real = &batch[..real_count];
     let greedy = greedy_assignment(state, real);
-    let mut lns_rng = {
-        use rand::SeedableRng;
-        rand::rngs::SmallRng::seed_from_u64(0x5EED_F1E_Cu64 ^ (batch.len() as u64) << 7)
-    };
-    let warm = crate::lns::refine(
+    // Multi-start LNS: independent replicas on seeded streams, spread
+    // over the available cores. The outcome is identical at any thread
+    // count (see `lns::refine_parallel`), so solver results stay
+    // machine-independent.
+    let lns_seed = 0x5EED_F1E_Cu64 ^ (batch.len() as u64) << 7;
+    let lns_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let warm = crate::lns::refine_parallel(
         state,
         real,
         &greedy,
         &crate::lns::LnsConfig::default(),
-        &mut lns_rng,
+        lns_seed,
+        4,
+        lns_threads,
     );
     // If local search already placed the entire (pure, no-lookahead)
     // batch, the power objective is at its ceiling and the LNS already

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-2 performance smoke gate: runs the MILP-solver and placement
+# criterion benches with short windows. The gate fails if any bench
+# panics (solver bugs under the bench workloads surface here before they
+# reach the figure harnesses); timings are printed for eyeballing, not
+# asserted.
+#
+# Usage: scripts/perf_smoke.sh [extra cargo bench args...]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_ARGS=(--warm-up-time 0.5 --measurement-time 1)
+
+for bench in milp_solver placement_policies; do
+    echo "== perf smoke: $bench =="
+    cargo bench --offline -p flex-bench --bench "$bench" -- \
+        "${BENCH_ARGS[@]}" "$@"
+done
+
+echo "perf smoke: OK"

@@ -1,0 +1,519 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Provides value-based random property testing: [`Strategy`] with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], [`bool::ANY`], [`strategy::Just`], and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, acceptable for in-tree use:
+//! no shrinking (failures report the raw generated case), no
+//! persistence (`.proptest-regressions` files are ignored), and a
+//! fixed deterministic seed per test so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+
+/// The RNG handed to strategies while generating a test case.
+pub type TestRng = SmallRng;
+
+/// Core strategy abstraction and combinators.
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of type `Value`.
+    ///
+    /// Value-based (no shrink trees): `sample` draws one case directly.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// builds out of it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always yields a clone of one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact size or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose length falls in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Generates `true`/`false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The fair-coin boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// Test execution: configuration, case errors, and the runner driving
+/// the `proptest!` macro.
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property failed; the test as a whole fails.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`; another is drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Creates a rejection with `reason`.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Result type of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration. Only `cases` is meaningful in this
+    /// stand-in; the struct is non-exhaustive-by-convention via
+    /// `..ProptestConfig::default()` style construction.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Max rejected cases (via `prop_assume!`) before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Fixed base seed so every run generates the same cases (the
+    /// stand-in has no shrinking or persistence; determinism is how
+    /// failures stay reproducible). Distinct per test via the test
+    /// name hashed in [`run`].
+    const BASE_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives one property test: draws cases from `strategy`, applies
+    /// `test`, retries rejects, and panics on the first failure.
+    pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut rng = TestRng::seed_from_u64(BASE_SEED ^ fnv1a(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case_index = 0u64;
+        while passed < config.cases {
+            let value = strategy.sample(&mut rng);
+            case_index += 1;
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "proptest stand-in: {name}: too many rejected cases \
+                             ({rejected}) before reaching {} passes",
+                            config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest stand-in: {name}: case #{case_index} failed: {reason} \
+                         (deterministic seed; rerun reproduces this case)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Mirrors proptest's macro surface:
+/// an optional `#![proptest_config(..)]` header followed by
+/// `#[test] fn name(pat in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run(
+                    &config,
+                    stringify!($name),
+                    strategy,
+                    |($($arg,)+)| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        return ::core::result::Result::Ok(());
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (not aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Skips the current case (drawing a replacement) when the
+/// precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, Vec<f64>)> {
+        (2usize..=6).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0.0f64..10.0, n..=n))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_hold((n, xs) in arb_pair()) {
+            prop_assert_eq!(xs.len(), n);
+            for x in &xs {
+                prop_assert!((0.0..10.0).contains(x), "x={} out of range", x);
+            }
+        }
+
+        #[test]
+        fn assume_skips(v in 0usize..100, flip in crate::bool::ANY) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0 || flip || !flip);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0.0f64..1.0, 3usize..8);
+        let mut a = crate::TestRng::seed_from_u64(9);
+        let mut b = crate::TestRng::seed_from_u64(9);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "case #")]
+    fn failing_property_panics() {
+        crate::test_runner::run(
+            &ProptestConfig::with_cases(8),
+            "failing_property_panics",
+            0usize..10,
+            |v| {
+                prop_assert!(v > 100, "v={} is not > 100", v);
+                Ok(())
+            },
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (no
+//! serializer crate is in-tree), so the traits are markers and the
+//! derives are no-ops. Swap back to real serde by restoring the
+//! crates.io entries in the workspace `Cargo.toml` once the build
+//! environment has registry access.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

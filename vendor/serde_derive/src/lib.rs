@@ -1,0 +1,20 @@
+//! Offline no-op stand-ins for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for documentation and
+//! future wire formats but never serializes in-tree (no serde_json or
+//! similar), so empty derives keep every type compiling without crates.io
+//! access. The `serde` attribute is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
