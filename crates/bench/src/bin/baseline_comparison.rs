@@ -33,20 +33,20 @@ fn main() {
         &flex_core::workload::trace::DemandTrace,
         &mut SmallRng,
     ) -> flex_core::placement::Placement| {
-        let mut allocated_sum = 0.0;
+        let mut allocated_sum = flex_core::power::Watts::ZERO;
         for s in 0..n {
             let mut rng = SmallRng::seed_from_u64(0xBA5E + s as u64);
             let trace = base.shuffled(&mut rng);
             let placement = place(&trace, &mut rng);
             let state = replay(&room, &trace, &placement);
-            allocated_sum += state.total_allocated().as_mw();
+            allocated_sum += state.total_allocated();
         }
-        let allocated = allocated_sum / n as f64;
-        let reserve_used = ((allocated - budget.as_mw()) / reserve.as_mw()).max(0.0);
-        let extra = (allocated / budget.as_mw() - 1.0).max(0.0);
+        let allocated = allocated_sum * (1.0 / n as f64);
+        let reserve_used = ((allocated - budget) / reserve).max(0.0);
+        let extra = (allocated / budget - 1.0).max(0.0);
         println!(
             "{name:<32} {:>11.2} MW {:>17.0}% {:>+13.1}%",
-            allocated,
+            allocated.as_mw(),
             reserve_used * 100.0,
             extra * 100.0
         );

@@ -12,7 +12,7 @@
 //! before shutting anything down; Realistic-1 shuts down more /
 //! throttles less than Realistic-2.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flex_core::online::policy::{decide, ActionSummary, DecisionInput, PolicyConfig};
 use flex_core::online::ImpactRegistry;
@@ -76,7 +76,8 @@ fn main() {
                     ups_power: &ups_power,
                 };
                 let outcome =
-                    decide(&input, &HashMap::new(), &registry, &PolicyConfig::default());
+                    decide(&input, &BTreeMap::new(), &registry, &PolicyConfig::default())
+                        .expect("decision failed");
                 assert!(outcome.safe, "{}: unsafe at {util}", scenario.name);
                 let s = ActionSummary::compute(&outcome.actions, placed.racks());
                 impacted.record(s.impacted_fraction * 100.0);

@@ -163,7 +163,7 @@ fn consensus_ablation() {
                 normalized.push(kind.normalize(raw).as_kw());
             }
         }
-        let tolerance = truth.as_kw() * 0.02;
+        let tolerance = (truth * 0.02).as_kw();
         if let Some(&first) = normalized.first() {
             if (first - truth.as_kw()).abs() > tolerance {
                 single_bad += 1;

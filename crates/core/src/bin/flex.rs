@@ -7,7 +7,7 @@
 //! $ flex emulate --fast
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use flex_core::power::UpsId;
@@ -33,8 +33,8 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
@@ -54,7 +54,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
-fn policy_of(flags: &HashMap<String, String>) -> Result<PolicyKind, String> {
+fn policy_of(flags: &BTreeMap<String, String>) -> Result<PolicyKind, String> {
     Ok(match flags.get("policy").map(String::as_str) {
         None | Some("brr") => PolicyKind::BalancedRoundRobin,
         Some("random") => PolicyKind::Random,
@@ -66,7 +66,7 @@ fn policy_of(flags: &HashMap<String, String>) -> Result<PolicyKind, String> {
     })
 }
 
-fn build(flags: &HashMap<String, String>) -> Result<FlexDatacenter, String> {
+fn build(flags: &BTreeMap<String, String>) -> Result<FlexDatacenter, String> {
     let seed: u64 = flags
         .get("seed")
         .map(|s| s.parse().map_err(|_| format!("bad seed '{s}'")))
@@ -93,7 +93,7 @@ fn build(flags: &HashMap<String, String>) -> Result<FlexDatacenter, String> {
         .map_err(|e| e.to_string())
 }
 
-fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_place(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let dc = build(flags)?;
     let room = dc.room();
     println!(
@@ -123,7 +123,7 @@ fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_drill(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_drill(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let dc = build(flags)?;
     let ups: usize = flags
         .get("ups")
@@ -183,7 +183,7 @@ fn cmd_feasibility() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_emulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     use flex_core::emulation::{run, EmulationConfig};
     use flex_core::sim::SimDuration;
     let fast = flags.contains_key("fast");

@@ -1,11 +1,11 @@
 //! The high-level `FlexDatacenter` API.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
 use flex_online::policy::{decide, DecisionInput, DecisionOutcome, PolicyConfig};
-use flex_online::{ActionSummary, ImpactRegistry};
+use flex_online::{ActionSummary, ImpactRegistry, OnlineError};
 use flex_placement::metrics::{stranded_fraction, throttling_imbalance};
 use flex_placement::policies::{
     replay, BalancedRoundRobin, FirstFit, FlexOffline, PlacementPolicy, Random,
@@ -26,6 +26,8 @@ pub enum FlexError {
     Power(PowerError),
     /// The requested UPS does not exist.
     UnknownUps(UpsId),
+    /// The online decision policy failed.
+    Online(OnlineError),
 }
 
 impl fmt::Display for FlexError {
@@ -33,6 +35,7 @@ impl fmt::Display for FlexError {
         match self {
             FlexError::Power(e) => write!(f, "power model error: {e}"),
             FlexError::UnknownUps(u) => write!(f, "{u} is not part of this room"),
+            FlexError::Online(e) => write!(f, "online policy error: {e}"),
         }
     }
 }
@@ -42,6 +45,7 @@ impl Error for FlexError {
         match self {
             FlexError::Power(e) => Some(e),
             FlexError::UnknownUps(_) => None,
+            FlexError::Online(e) => Some(e),
         }
     }
 }
@@ -49,6 +53,12 @@ impl Error for FlexError {
 impl From<PowerError> for FlexError {
     fn from(e: PowerError) -> Self {
         FlexError::Power(e)
+    }
+}
+
+impl From<OnlineError> for FlexError {
+    fn from(e: OnlineError) -> Self {
+        FlexError::Online(e)
     }
 }
 
@@ -234,7 +244,9 @@ impl FlexDatacenter {
     ///
     /// # Errors
     ///
-    /// Returns [`FlexError::UnknownUps`] for a foreign UPS id.
+    /// Returns [`FlexError::UnknownUps`] for a foreign UPS id and
+    /// [`FlexError::Online`] if the decision policy rejects the room
+    /// state.
     pub fn decide_failover(&self, failed: UpsId, utilization: f64) -> Result<FailoverDrill, FlexError> {
         let topo = self.room.topology();
         if failed.0 >= topo.ups_count() {
@@ -263,7 +275,7 @@ impl FlexDatacenter {
             rack_power: &draws,
             ups_power: &ups_power,
         };
-        let outcome = decide(&input, &HashMap::new(), &registry, &PolicyConfig::default());
+        let outcome = decide(&input, &BTreeMap::new(), &registry, &PolicyConfig::default())?;
         let summary = ActionSummary::compute(&outcome.actions, self.placed.racks());
         let shed_power = outcome.actions.iter().map(|a| a.estimated_recovery).sum();
         Ok(FailoverDrill {

@@ -1,0 +1,474 @@
+//! A hand-rolled Rust lexer.
+//!
+//! Produces a flat token stream with line numbers — enough structure for
+//! line/token-level rules without a full parse. Handles the lexical
+//! constructs that would otherwise produce false positives: nested block
+//! comments, (raw/byte) string literals, char literals vs. lifetimes,
+//! float vs. integer literals, and multi-character operators.
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    IntLit,
+    /// Float literal (`1.0`, `2e-3`, `1f64`).
+    FloatLit,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    StrLit,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    CharLit,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment (includes doc comments).
+    LineComment,
+    /// `/* … */` comment (possibly nested).
+    BlockComment,
+    /// Punctuation / operator, possibly multi-character (`::`, `==`).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Raw text of the token (comment text includes the delimiters).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is an identifier equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is punctuation equal to `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "..", "<<", ">>",
+];
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lexes `src` into a token stream. Never fails: unrecognized bytes
+/// become single-character [`TokenKind::Punct`] tokens, and unterminated
+/// literals extend to end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let start_line = self.line;
+            let c = self.src[self.pos];
+            let kind = match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                c if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => self.prefixed_literal(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => self.punct(),
+            };
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.out.push(Token {
+                kind,
+                text,
+                line: start_line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump_counting_newlines(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_counting_newlines();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.src.len() {
+                        self.bump_counting_newlines();
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump_counting_newlines(),
+            }
+        }
+        TokenKind::StrLit
+    }
+
+    /// True if the `r`/`b` at the cursor starts a raw/byte literal rather
+    /// than an identifier (`r"`, `r#"`, `b"`, `b'`, `br`, `rb`…).
+    fn raw_or_byte_prefix(&self) -> bool {
+        let mut i = 1;
+        // Up to two prefix letters (`br`, `rb`).
+        if matches!(self.peek(i), Some(b'r') | Some(b'b')) {
+            i += 1;
+        }
+        let mut j = i;
+        while self.peek(j) == Some(b'#') {
+            j += 1;
+        }
+        match self.peek(j) {
+            Some(b'"') => true,
+            // `b'x'` byte char (no hashes allowed).
+            Some(b'\'') => j == i && self.src[self.pos] == b'b',
+            _ => {
+                // `r#ident` raw identifier is not a literal.
+                false
+            }
+        }
+    }
+
+    fn prefixed_literal(&mut self) -> TokenKind {
+        // Skip prefix letters.
+        while matches!(self.src.get(self.pos), Some(b'r') | Some(b'b')) {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        match self.peek(0) {
+            Some(b'\'') => {
+                self.pos += 1;
+                self.char_body();
+                TokenKind::CharLit
+            }
+            Some(b'"') if hashes == 0 => self.string(),
+            Some(b'"') => {
+                // Raw string: ends at `"` followed by `hashes` hashes.
+                self.pos += 1;
+                while self.pos < self.src.len() {
+                    if self.src[self.pos] == b'"'
+                        && (1..=hashes).all(|k| self.peek(k) == Some(b'#'))
+                    {
+                        self.pos += 1 + hashes;
+                        break;
+                    }
+                    self.bump_counting_newlines();
+                }
+                TokenKind::StrLit
+            }
+            _ => TokenKind::StrLit, // unterminated prefix; treat rest as literal
+        }
+    }
+
+    /// Consumes a char-literal body after the opening quote.
+    fn char_body(&mut self) {
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 1;
+            if self.pos < self.src.len() {
+                self.pos += 1;
+            }
+        } else if self.pos < self.src.len() {
+            self.bump_counting_newlines();
+        }
+        // Consume up to the closing quote (handles `'\u{1F600}'`).
+        while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+            if self.src[self.pos] == b'\n' {
+                return; // unterminated; don't swallow the file
+            }
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // `'` then: escape → char; ident-run then `'` → char (e.g. 'a');
+        // ident-run without closing quote → lifetime.
+        match self.peek(1) {
+            Some(b'\\') => {
+                self.pos += 1;
+                self.char_body();
+                TokenKind::CharLit
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                let mut j = 2;
+                while self.peek(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.peek(j) == Some(b'\'') {
+                    self.pos += j + 1;
+                    TokenKind::CharLit
+                } else {
+                    self.pos += j;
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                self.pos += 1;
+                self.char_body();
+                TokenKind::CharLit
+            }
+            None => {
+                self.pos += 1;
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut float = false;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.pos += 1;
+            }
+            return TokenKind::IntLit;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            self.pos += 1;
+        }
+        // A `.` continues the number only when followed by a digit
+        // (so `1..5` and `1.max(2)` lex as integers).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            self.pos += 1;
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(0), Some(b'e') | Some(b'E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(0), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                self.pos += 1;
+            }
+        }
+        // Type suffix (`u32`, `f64`).
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        if self.src.get(suffix_start) == Some(&b'f') {
+            float = true;
+        }
+        if float {
+            TokenKind::FloatLit
+        } else {
+            TokenKind::IntLit
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // Raw identifier `r#ident`.
+        if self.src[self.pos] == b'r' && self.peek(1) == Some(b'#') {
+            self.pos += 2;
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        TokenKind::Ident
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        let rest = &self.src[self.pos..];
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                return TokenKind::Punct;
+            }
+        }
+        self.pos += 1;
+        TokenKind::Punct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = kinds("fn main() { let x = 1 + 2.5; }");
+        assert!(toks.contains(&(TokenKind::Ident, "fn".into())));
+        assert!(toks.contains(&(TokenKind::IntLit, "1".into())));
+        assert!(toks.contains(&(TokenKind::FloatLit, "2.5".into())));
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let toks = kinds("// Instant::now()\nlet s = \"Instant::now()\";");
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "Instant"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::StrLit).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[1].1 == "x");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; y"###);
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::StrLit));
+        assert!(toks.iter().any(|(_, t)| t == "y"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::CharLit).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn float_vs_int_and_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.0e-3; let y = 2f64; let z = 7.max(1); }");
+        assert!(toks.contains(&(TokenKind::FloatLit, "1.0e-3".into())));
+        assert!(toks.contains(&(TokenKind::FloatLit, "2f64".into())));
+        assert!(toks.contains(&(TokenKind::IntLit, "7".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "..".into())));
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let toks = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn multichar_punct() {
+        let toks = kinds("a == b != c :: d -> e");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->"]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds("let a = b\"bytes\"; let c = b'x'; let r = br#\"raw\"#;");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::StrLit).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::CharLit).count(),
+            1
+        );
+    }
+}

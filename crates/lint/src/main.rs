@@ -1,0 +1,104 @@
+//! The `flex-lint` CLI.
+//!
+//! ```text
+//! flex-lint [--root DIR] [--config FILE] [--json FILE] [--quiet]
+//! ```
+//!
+//! Exits non-zero iff any error-severity finding survives suppression.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+// Timing the run is the one legitimate wall-clock use in this crate;
+// `crates/lint/src/main.rs` is on the D1 allowlist in lint.toml.
+use std::time::Instant;
+
+use flex_lint::{lint_workspace, LintConfig};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config = match LintConfig::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("flex-lint: config error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let started = Instant::now();
+    let report = match lint_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flex-lint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = started.elapsed();
+
+    if !quiet {
+        for d in &report.diagnostics {
+            println!("{}:{}: {} [{}] {}", d.file, d.line, d.severity, d.rule, d.message);
+        }
+    }
+    println!(
+        "flex-lint: {} files, {} errors, {} warnings, {} suppressed ({} ms)",
+        report.files,
+        report.error_count(),
+        report.warning_count(),
+        report.suppressed,
+        elapsed.as_millis()
+    );
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("flex-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.error_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("flex-lint: {err}");
+    }
+    eprintln!("usage: flex-lint [--root DIR] [--config FILE] [--json FILE] [--quiet]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,459 @@
+//! The rule catalog.
+//!
+//! | Rule | Guards | Scope |
+//! |------|--------|-------|
+//! | D1 | no wall-clock (`Instant::now`, `SystemTime`, `thread::sleep`) | all non-test code minus allowlist |
+//! | D2 | no `HashMap`/`HashSet` | deterministic-tagged crates, non-test |
+//! | P1 | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`/slice-index | panic-free crates, library non-test |
+//! | U1 | no raw float literal arithmetic on unit-accessor results | all non-test code outside `units.rs` |
+//! | F1 | no `==`/`!=` on float expressions | all non-test code |
+//! | H1 | crate roots carry `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` | `crates/*/src/lib.rs` |
+//! | S1 | suppressions must parse and carry a justification | everywhere |
+
+use crate::config::{LintConfig, Severity};
+use crate::context::{FileClass, FileContext};
+use crate::lexer::TokenKind;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`"D1"`, …).
+    pub rule: String,
+    /// Resolved severity (never `Off`).
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Runs every rule over one file and applies suppressions.
+///
+/// Returns the surviving diagnostics plus the number suppressed.
+pub fn check_file(ctx: &FileContext, config: &LintConfig) -> (Vec<Diagnostic>, usize) {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    rule_d1(ctx, config, &mut raw);
+    rule_d2(ctx, config, &mut raw);
+    rule_p1(ctx, config, &mut raw);
+    rule_u1(ctx, config, &mut raw);
+    rule_f1(ctx, config, &mut raw);
+    rule_h1(ctx, config, &mut raw);
+    rule_s1(ctx, config, &mut raw);
+
+    let mut out = Vec::new();
+    let mut suppressed = 0usize;
+    for d in raw {
+        if d.severity == Severity::Off {
+            continue;
+        }
+        // S1 findings are about the suppression mechanism itself and
+        // cannot be suppressed.
+        if d.rule != "S1" && ctx.is_suppressed(&d.rule, d.line) {
+            suppressed += 1;
+            continue;
+        }
+        out.push(d);
+    }
+    (out, suppressed)
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    ctx: &FileContext,
+    line: u32,
+    rule: &str,
+    severity: Severity,
+    message: String,
+) {
+    out.push(Diagnostic {
+        file: ctx.rel_path.clone(),
+        line,
+        rule: rule.to_string(),
+        severity,
+        message,
+    });
+}
+
+/// D1 — determinism: wall-clock and sleeps are banned outside the
+/// allowlist. The simulation replays the same decision trace at any
+/// thread count only if no code path consults real time.
+fn rule_d1(ctx: &FileContext, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let rc = config.rule("D1");
+    if rc.severity == Severity::Off
+        || ctx.class == FileClass::TestContext
+        || config.is_allowed("D1", &ctx.rel_path)
+    {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        let Some(t) = ctx.code_token(ci) else { break };
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        let pat = if t.is_ident("Instant")
+            && ctx.code_token(ci + 1).is_some_and(|n| n.is_punct("::"))
+            && ctx.code_token(ci + 2).is_some_and(|n| n.is_ident("now"))
+        {
+            Some("Instant::now()")
+        } else if t.is_ident("SystemTime") {
+            Some("SystemTime")
+        } else if t.is_ident("thread")
+            && ctx.code_token(ci + 1).is_some_and(|n| n.is_punct("::"))
+            && ctx.code_token(ci + 2).is_some_and(|n| n.is_ident("sleep"))
+        {
+            Some("thread::sleep")
+        } else {
+            None
+        };
+        if let Some(pat) = pat {
+            push(
+                out,
+                ctx,
+                t.line,
+                "D1",
+                rc.severity,
+                format!("{pat} breaks deterministic replay; use SimTime or add this path to the D1 allowlist"),
+            );
+        }
+    }
+}
+
+/// D2 — determinism: randomized-iteration-order collections are banned in
+/// crates whose outputs must be bit-identical run to run.
+fn rule_d2(ctx: &FileContext, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let rc = config.rule("D2");
+    let in_scope = ctx
+        .crate_name
+        .as_ref()
+        .is_some_and(|c| config.deterministic_crates.iter().any(|d| d == c));
+    if rc.severity == Severity::Off
+        || !in_scope
+        || ctx.class == FileClass::TestContext
+        || config.is_allowed("D2", &ctx.rel_path)
+    {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        let Some(t) = ctx.code_token(ci) else { break };
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            push(
+                out,
+                ctx,
+                t.line,
+                "D2",
+                rc.severity,
+                format!(
+                    "{} in deterministic crate `{}`: iteration order can reach results; use BTreeMap/BTreeSet",
+                    t.text,
+                    ctx.crate_name.as_deref().unwrap_or("?")
+                ),
+            );
+        }
+    }
+}
+
+/// P1 — panic safety: the online control path must degrade, not die,
+/// mid-shed. Unconditional panics are errors; slice indexing reports at
+/// its own (default `warn`) severity.
+fn rule_p1(ctx: &FileContext, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let rc = config.rule("P1");
+    let in_scope = ctx
+        .crate_name
+        .as_ref()
+        .is_some_and(|c| config.panic_free_crates.iter().any(|p| p == c));
+    if rc.severity == Severity::Off
+        || !in_scope
+        || ctx.class == FileClass::TestContext
+        || config.is_allowed("P1", &ctx.rel_path)
+    {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        let Some(t) = ctx.code_token(ci) else { break };
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        let prev = ci.checked_sub(1).and_then(|p| ctx.code_token(p));
+        // `.unwrap()` / `.expect(` — method calls only.
+        if prev.is_some_and(|p| p.is_punct("."))
+            && ctx.code_token(ci + 1).is_some_and(|n| n.is_punct("("))
+        {
+            let banned = match t.text.as_str() {
+                "unwrap" if ctx.code_token(ci + 2).is_some_and(|n| n.is_punct(")")) => {
+                    Some("unwrap()")
+                }
+                "expect" => Some("expect()"),
+                _ => None,
+            };
+            if let Some(name) = banned {
+                push(
+                    out,
+                    ctx,
+                    t.line,
+                    "P1",
+                    rc.severity,
+                    format!("{name} can panic mid-shed; return the crate's error type instead"),
+                );
+                continue;
+            }
+        }
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+        if ctx.code_token(ci + 1).is_some_and(|n| n.is_punct("!"))
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && t.kind == TokenKind::Ident
+        {
+            push(
+                out,
+                ctx,
+                t.line,
+                "P1",
+                rc.severity,
+                format!("{}! can panic mid-shed; handle the case or return an error", t.text),
+            );
+            continue;
+        }
+        // Slice/array indexing `expr[…]`: `[` preceded by an identifier,
+        // `)`, or `]` (macros `m![…]` have `!` before `[`, attributes
+        // have `#`, so neither matches).
+        if rc.index_severity != Severity::Off
+            && t.is_punct("[")
+            && prev.is_some_and(|p| {
+                p.kind == TokenKind::Ident && !is_keyword_before_bracket(&p.text)
+                    || p.is_punct(")")
+                    || p.is_punct("]")
+            })
+        {
+            push(
+                out,
+                ctx,
+                t.line,
+                "P1",
+                rc.index_severity,
+                "slice index can panic on out-of-bounds; prefer .get() on untrusted indices".to_string(),
+            );
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`impl Index<…> for T`, `return [a, b]`, …).
+fn is_keyword_before_bracket(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "break" | "in" | "else" | "match" | "mut" | "dyn" | "as" | "const"
+    )
+}
+
+/// U1 — unit safety: raw `f64` literals must not be mixed arithmetically
+/// with unit-accessor results; wrap the literal in the newtype instead.
+fn rule_u1(ctx: &FileContext, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let rc = config.rule("U1");
+    if rc.severity == Severity::Off
+        || ctx.class == FileClass::TestContext
+        || ctx.rel_path.ends_with("/units.rs")
+        || config.is_allowed("U1", &ctx.rel_path)
+    {
+        return;
+    }
+    let is_accessor = |s: &str| config.unit_accessors.iter().any(|a| a == s);
+    let is_arith = |ci: usize| {
+        ctx.code_token(ci).is_some_and(|t| {
+            t.is_punct("+") || t.is_punct("-") || t.is_punct("*") || t.is_punct("/")
+        })
+    };
+    for ci in 0..ctx.code.len() {
+        let Some(t) = ctx.code_token(ci) else { break };
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // Forward: `.as_w() <op> 3.0`.
+        if t.is_punct(".")
+            && ctx
+                .code_token(ci + 1)
+                .is_some_and(|n| n.kind == TokenKind::Ident && is_accessor(&n.text))
+            && ctx.code_token(ci + 2).is_some_and(|n| n.is_punct("("))
+            && ctx.code_token(ci + 3).is_some_and(|n| n.is_punct(")"))
+            && is_arith(ci + 4)
+            && ctx
+                .code_token(ci + 5)
+                .is_some_and(|n| n.kind == TokenKind::FloatLit)
+        {
+            push(
+                out,
+                ctx,
+                t.line,
+                "U1",
+                rc.severity,
+                "raw float literal combined with a unit accessor; construct the unit type instead (units.rs)"
+                    .to_string(),
+            );
+            continue;
+        }
+        // Backward: `3.0 <op> x.y.as_w()` — scan a short ident/dot chain.
+        if t.kind == TokenKind::FloatLit && is_arith(ci + 1) {
+            let mut k = ci + 2;
+            let mut steps = 0;
+            while steps < 8 {
+                let Some(tk) = ctx.code_token(k) else { break };
+                if tk.is_punct(".")
+                    && ctx
+                        .code_token(k + 1)
+                        .is_some_and(|n| n.kind == TokenKind::Ident && is_accessor(&n.text))
+                    && ctx.code_token(k + 2).is_some_and(|n| n.is_punct("("))
+                {
+                    push(
+                        out,
+                        ctx,
+                        t.line,
+                        "U1",
+                        rc.severity,
+                        "raw float literal combined with a unit accessor; construct the unit type instead (units.rs)"
+                            .to_string(),
+                    );
+                    break;
+                }
+                // Stay within a simple postfix chain.
+                if tk.kind == TokenKind::Ident || tk.is_punct(".") {
+                    k += 1;
+                    steps += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// F1 — float comparisons: `==`/`!=` with a float operand is almost
+/// always an epsilon bug; the codebase offers `approx_eq` and
+/// `total_cmp`.
+fn rule_f1(ctx: &FileContext, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let rc = config.rule("F1");
+    if rc.severity == Severity::Off
+        || ctx.class == FileClass::TestContext
+        || config.is_allowed("F1", &ctx.rel_path)
+    {
+        return;
+    }
+    let is_accessor = |s: &str| config.unit_accessors.iter().any(|a| a == s);
+    for ci in 0..ctx.code.len() {
+        let Some(t) = ctx.code_token(ci) else { break };
+        if !(t.is_punct("==") || t.is_punct("!=")) || ctx.in_test(t.line) {
+            continue;
+        }
+        let prev = ci.checked_sub(1).and_then(|p| ctx.code_token(p));
+        let next = ctx.code_token(ci + 1);
+        let float_neighbor = prev.is_some_and(|p| p.kind == TokenKind::FloatLit)
+            || next.is_some_and(|n| n.kind == TokenKind::FloatLit)
+            // `x.as_w() == …`
+            || (prev.is_some_and(|p| p.is_punct(")"))
+                && ci >= 3
+                && ctx.code_token(ci - 2).is_some_and(|p| p.is_punct("("))
+                && ctx
+                    .code_token(ci - 3)
+                    .is_some_and(|p| p.kind == TokenKind::Ident && is_accessor(&p.text)));
+        if float_neighbor {
+            push(
+                out,
+                ctx,
+                t.line,
+                "F1",
+                rc.severity,
+                format!(
+                    "`{}` on a float expression; use approx_eq/total_cmp or an explicit epsilon",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// H1 — header hygiene: every crate root forbids `unsafe` and warns on
+/// missing docs, so the safety argument holds workspace-wide.
+fn rule_h1(ctx: &FileContext, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let rc = config.rule("H1");
+    if rc.severity == Severity::Off || !ctx.is_crate_root || config.is_allowed("H1", &ctx.rel_path)
+    {
+        return;
+    }
+    let mut has_forbid_unsafe = false;
+    let mut has_warn_missing_docs = false;
+    for ci in 0..ctx.code.len() {
+        // Inner attribute `#![…]`.
+        let Some(t) = ctx.code_token(ci) else { break };
+        if !(t.is_punct("#") && ctx.code_token(ci + 1).is_some_and(|n| n.is_punct("!"))) {
+            continue;
+        }
+        let idents: Vec<String> = (ci + 2..ctx.code.len())
+            .map_while(|k| ctx.code_token(k))
+            .take_while(|tk| !tk.is_punct("]"))
+            .filter(|tk| tk.kind == TokenKind::Ident)
+            .map(|tk| tk.text.clone())
+            .collect();
+        if idents.first().is_some_and(|s| s == "forbid")
+            && idents.iter().any(|s| s == "unsafe_code")
+        {
+            has_forbid_unsafe = true;
+        }
+        if idents.first().is_some_and(|s| s == "warn")
+            && idents.iter().any(|s| s == "missing_docs")
+        {
+            has_warn_missing_docs = true;
+        }
+    }
+    if !has_forbid_unsafe {
+        push(
+            out,
+            ctx,
+            1,
+            "H1",
+            rc.severity,
+            "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+    if !has_warn_missing_docs {
+        push(
+            out,
+            ctx,
+            1,
+            "H1",
+            rc.severity,
+            "crate root is missing #![warn(missing_docs)]".to_string(),
+        );
+    }
+}
+
+/// S1 — suppression hygiene: every `flex-lint:` directive must parse and
+/// carry a non-empty justification after the rule list.
+fn rule_s1(ctx: &FileContext, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let rc = config.rule("S1");
+    if rc.severity == Severity::Off {
+        return;
+    }
+    for s in &ctx.suppressions {
+        if let Some(why) = &s.malformed {
+            push(out, ctx, s.line, "S1", rc.severity, why.clone());
+        } else if !s.justified {
+            push(
+                out,
+                ctx,
+                s.line,
+                "S1",
+                rc.severity,
+                format!(
+                    "suppression of {} lacks a justification; write `flex-lint: allow({}): <why this site is safe>`",
+                    s.rules.join(", "),
+                    s.rules.join(", ")
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Fixture tests: one intentionally-violating and one clean source per
+//! rule, driven through [`flex_lint::lint_source`] under synthetic
+//! workspace paths (so crate-scoped rules see the crate they expect).
+//!
+//! The fixture files live in `tests/fixtures/`, which `lint.toml` skips
+//! during the workspace walk — they exist only for these tests.
+
+use flex_lint::{lint_source, Diagnostic, LintConfig, Severity};
+
+/// Lints embedded fixture source as if it lived at `rel_path`.
+fn lint(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let (diags, _suppressed) = lint_source(rel_path, source, &LintConfig::default());
+    diags
+}
+
+fn rule_lines(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_fires_on_wall_clock() {
+    let diags = lint(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/d1_violation.rs"),
+    );
+    let lines = rule_lines(&diags, "D1");
+    assert!(
+        lines.len() >= 3,
+        "Instant::now, SystemTime, and thread::sleep should all fire: {diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.rule != "D1" || d.severity == Severity::Error));
+}
+
+#[test]
+fn d1_is_silent_on_sim_time() {
+    let diags = lint(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/d1_clean.rs"),
+    );
+    assert!(
+        diags.is_empty(),
+        "SimTime-only code (wall-clock confined to #[cfg(test)]) is clean: {diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_fires_on_hash_collections_in_deterministic_crates() {
+    let diags = lint(
+        "crates/online/src/fixture.rs",
+        include_str!("fixtures/d2_violation.rs"),
+    );
+    let lines = rule_lines(&diags, "D2");
+    assert!(
+        lines.len() >= 2,
+        "HashMap and HashSet should both fire: {diags:?}"
+    );
+}
+
+#[test]
+fn d2_ignores_non_deterministic_crates() {
+    let diags = lint(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d2_violation.rs"),
+    );
+    assert!(
+        rule_lines(&diags, "D2").is_empty(),
+        "bench is not a deterministic-tagged crate: {diags:?}"
+    );
+}
+
+#[test]
+fn d2_is_silent_on_btree_collections() {
+    let diags = lint(
+        "crates/online/src/fixture.rs",
+        include_str!("fixtures/d2_clean.rs"),
+    );
+    assert!(diags.is_empty(), "BTreeMap/BTreeSet are clean: {diags:?}");
+}
+
+// ---------------------------------------------------------------- P1
+
+#[test]
+fn p1_fires_on_panics_in_panic_free_crates() {
+    let diags = lint(
+        "crates/online/src/fixture.rs",
+        include_str!("fixtures/p1_violation.rs"),
+    );
+    let errors: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "P1" && d.severity == Severity::Error)
+        .collect();
+    // unwrap(), expect(), panic!, unreachable! — all unconditional.
+    assert!(
+        errors.len() >= 4,
+        "all four unconditional panic forms should fire as errors: {diags:?}"
+    );
+    let warns: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "P1" && d.severity == Severity::Warn)
+        .collect();
+    assert_eq!(warns.len(), 1, "the slice index reports at warn: {diags:?}");
+}
+
+#[test]
+fn p1_ignores_crates_outside_the_control_path() {
+    let diags = lint(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/p1_violation.rs"),
+    );
+    assert!(
+        rule_lines(&diags, "P1").is_empty(),
+        "bench may panic freely: {diags:?}"
+    );
+}
+
+#[test]
+fn p1_is_silent_on_fallible_style() {
+    let diags = lint(
+        "crates/online/src/fixture.rs",
+        include_str!("fixtures/p1_clean.rs"),
+    );
+    assert!(
+        diags.is_empty(),
+        "Option/Result/.get() style (with unwrap confined to tests) is clean: {diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- U1
+
+#[test]
+fn u1_fires_on_raw_literal_accessor_arithmetic() {
+    let diags = lint(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/u1_violation.rs"),
+    );
+    let lines = rule_lines(&diags, "U1");
+    assert_eq!(
+        lines.len(),
+        2,
+        "`.as_kw() * 1.2` and `0.05 * limit.as_kw()` should both fire: {diags:?}"
+    );
+}
+
+#[test]
+fn u1_is_silent_when_scaling_inside_the_unit_type() {
+    let diags = lint(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/u1_clean.rs"),
+    );
+    assert!(
+        diags.is_empty(),
+        "`(p * 1.2).as_kw()` keeps the arithmetic in Watts: {diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- F1
+
+#[test]
+fn f1_fires_on_exact_float_comparison() {
+    let diags = lint(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/f1_violation.rs"),
+    );
+    let lines = rule_lines(&diags, "F1");
+    assert!(
+        lines.len() >= 3,
+        "literal-right, literal-left, and accessor-left comparisons should fire: {diags:?}"
+    );
+}
+
+#[test]
+fn f1_is_silent_on_epsilon_and_total_cmp() {
+    let diags = lint(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/f1_clean.rs"),
+    );
+    assert!(
+        diags.is_empty(),
+        "epsilon/total_cmp comparisons (exact == confined to tests) are clean: {diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- H1
+
+#[test]
+fn h1_fires_on_a_bare_crate_root() {
+    let diags = lint(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/h1_violation.rs"),
+    );
+    let lines = rule_lines(&diags, "H1");
+    assert_eq!(
+        lines.len(),
+        2,
+        "both missing inner attributes should be named: {diags:?}"
+    );
+}
+
+#[test]
+fn h1_only_applies_to_crate_roots() {
+    let diags = lint(
+        "crates/demo/src/util.rs",
+        include_str!("fixtures/h1_violation.rs"),
+    );
+    assert!(
+        rule_lines(&diags, "H1").is_empty(),
+        "non-root modules carry no header obligation: {diags:?}"
+    );
+}
+
+#[test]
+fn h1_is_silent_on_a_well_formed_root() {
+    let diags = lint(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/h1_clean.rs"),
+    );
+    assert!(diags.is_empty(), "both attributes present: {diags:?}");
+}
+
+// ---------------------------------------------------------------- S1
+
+#[test]
+fn s1_fires_on_a_justification_free_suppression() {
+    let diags = lint(
+        "crates/online/src/fixture.rs",
+        include_str!("fixtures/s1_unjustified.rs"),
+    );
+    let s1 = rule_lines(&diags, "S1");
+    assert_eq!(s1.len(), 1, "the bare directive is a violation: {diags:?}");
+    // And the unjustified directive is inert: the D2 finding it tried to
+    // cover still reports.
+    assert!(
+        !rule_lines(&diags, "D2").is_empty(),
+        "unjustified suppressions must not suppress: {diags:?}"
+    );
+}
+
+#[test]
+fn s1_accepts_justified_suppressions_and_they_work() {
+    let (diags, suppressed) = lint_source(
+        "crates/online/src/fixture.rs",
+        include_str!("fixtures/s1_justified.rs"),
+        &LintConfig::default(),
+    );
+    assert!(
+        diags.is_empty(),
+        "every D2 site is covered by a justified directive: {diags:?}"
+    );
+    assert!(suppressed >= 2, "the directives did the suppressing");
+}
+
+#[test]
+fn s1_fires_on_malformed_directives() {
+    let source = "// flex-lint: allow(NOT_A_RULE): reason\n\
+                  // flex-lint: permit(D1): wrong verb\n\
+                  pub fn f() {}\n";
+    let diags = lint("crates/bench/src/fixture.rs", source);
+    assert_eq!(
+        rule_lines(&diags, "S1").len(),
+        2,
+        "unknown rule ids and unknown verbs are malformed: {diags:?}"
+    );
+}

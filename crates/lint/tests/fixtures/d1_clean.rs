@@ -1,0 +1,23 @@
+//! D1 fixture: simulated time only — no wall-clock, nothing to flag.
+
+pub struct SimTime(f64);
+
+impl SimTime {
+    pub fn advance(&mut self, dt: f64) {
+        self.0 += dt;
+    }
+
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = Instant::now();
+    }
+}

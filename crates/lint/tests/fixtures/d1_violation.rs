@@ -1,0 +1,16 @@
+//! D1 fixture: wall-clock access in library code (three firings).
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn nap() {
+    std::thread::sleep(Duration::from_millis(5));
+}

@@ -1,0 +1,15 @@
+//! D2 fixture: ordered collections — deterministic iteration, clean.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for k in keys {
+        seen.insert(*k);
+    }
+    seen.len()
+}
+
+pub fn index(pairs: &[(u32, f64)]) -> BTreeMap<u32, f64> {
+    pairs.iter().copied().collect()
+}

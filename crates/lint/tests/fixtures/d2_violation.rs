@@ -1,0 +1,11 @@
+//! D2 fixture: hash collections in a deterministic crate (two firings).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    for k in keys {
+        seen.insert(*k);
+    }
+    seen.len()
+}

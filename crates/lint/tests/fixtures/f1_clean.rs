@@ -1,0 +1,23 @@
+//! F1 fixture: epsilon and total-order comparisons — nothing to flag.
+
+pub fn is_idle(draw: f64) -> bool {
+    draw.abs() < 1e-9
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs())
+}
+
+pub fn same_bits(a: f64, b: f64) -> bool {
+    a.total_cmp(&b).is_eq()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_equality_is_fine_in_tests() {
+        assert!(super::close(0.5, 0.5) == true);
+        let x = 0.25;
+        assert!(x == 0.25);
+    }
+}

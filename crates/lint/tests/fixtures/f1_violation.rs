@@ -1,0 +1,22 @@
+//! F1 fixture: exact float comparisons (three firings: literal on the
+//! right, literal on the left, accessor result on the left).
+
+pub struct Watts(f64);
+
+impl Watts {
+    pub fn as_w(&self) -> f64 {
+        self.0
+    }
+}
+
+pub fn is_idle(draw: f64) -> bool {
+    draw == 0.0
+}
+
+pub fn is_unit(scale: f64) -> bool {
+    1.0 != scale
+}
+
+pub fn matches(p: &Watts, q: f64) -> bool {
+    p.as_w() == q
+}

@@ -1,0 +1,9 @@
+//! H1 fixture: a well-formed crate root header.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The answer.
+pub fn answer() -> u32 {
+    42
+}

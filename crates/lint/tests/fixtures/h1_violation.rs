@@ -1,0 +1,6 @@
+//! H1 fixture: a crate root with neither required inner attribute
+//! (two firings when linted as `crates/<x>/src/lib.rs`).
+
+pub fn answer() -> u32 {
+    42
+}

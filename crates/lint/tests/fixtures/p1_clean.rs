@@ -1,0 +1,29 @@
+//! P1 fixture: the same operations written to degrade instead of die.
+
+pub fn first(values: &[f64]) -> Option<f64> {
+    values.first().copied()
+}
+
+pub fn parse(text: &str) -> Result<u32, std::num::ParseIntError> {
+    text.parse()
+}
+
+pub fn pick(mode: u8) -> Option<&'static str> {
+    match mode {
+        0 => Some("off"),
+        1 => Some("on"),
+        _ => None,
+    }
+}
+
+pub fn at(values: &[f64], i: usize) -> f64 {
+    values.get(i).copied().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::parse("7").unwrap(), 7);
+    }
+}

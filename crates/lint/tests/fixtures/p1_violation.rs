@@ -1,0 +1,24 @@
+//! P1 fixture: panics in a panic-free crate's library path (five
+//! firings: unwrap, expect, panic!, unreachable!, and a slice index).
+
+pub fn first(values: &[f64]) -> f64 {
+    let head = values.first().unwrap();
+    *head
+}
+
+pub fn parse(text: &str) -> u32 {
+    text.parse().expect("caller promised digits")
+}
+
+pub fn pick(mode: u8) -> &'static str {
+    match mode {
+        0 => "off",
+        1 => "on",
+        2 => panic!("mode 2 is retired"),
+        _ => unreachable!(),
+    }
+}
+
+pub fn at(values: &[f64], i: usize) -> f64 {
+    values[i]
+}

@@ -1,0 +1,13 @@
+//! S1 fixture: justified suppressions — every D2 finding is swallowed
+//! and the directives themselves are clean. Each directive covers its
+//! own line plus the next.
+
+// flex-lint: allow(D2): interop with an external crate's HashMap API
+use std::collections::HashMap;
+
+/// Builds the cache.
+// flex-lint: allow(D2): iteration order never escapes this function
+pub fn cache() -> HashMap<u32, f64> {
+    // flex-lint: allow(D2): iteration order never escapes this function
+    HashMap::new()
+}

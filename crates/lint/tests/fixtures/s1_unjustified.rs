@@ -1,0 +1,9 @@
+//! S1 fixture: a suppression with no justification. The D2 finding is
+//! swallowed, but the bare directive is itself an S1 violation.
+
+use std::collections::HashMap;
+
+pub fn cache() -> HashMap<u32, f64> {
+    // flex-lint: allow(D2)
+    HashMap::new()
+}

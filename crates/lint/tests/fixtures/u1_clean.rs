@@ -1,0 +1,21 @@
+//! U1 fixture: scaling happens inside the unit type; the accessor only
+//! ever reads the finished quantity.
+
+pub struct Watts(f64);
+
+impl Watts {
+    pub fn as_kw(&self) -> f64 {
+        self.0 / 1e3
+    }
+}
+
+impl std::ops::Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+
+pub fn padded(p: Watts) -> f64 {
+    (p * 1.2).as_kw()
+}

@@ -1,0 +1,18 @@
+//! U1 fixture: raw float literals mixed with unit accessors (a forward
+//! and a backward firing).
+
+pub struct Watts(f64);
+
+impl Watts {
+    pub fn as_kw(&self) -> f64 {
+        self.0 / 1e3
+    }
+}
+
+pub fn padded(p: &Watts) -> f64 {
+    p.as_kw() * 1.2
+}
+
+pub fn headroom(limit: &Watts) -> f64 {
+    0.05 * limit.as_kw()
+}

@@ -202,6 +202,7 @@ impl Model {
             if dense.len() <= var.0 {
                 dense.resize(var.0 + 1, 0.0);
             }
+            // flex-lint: allow(F1): exact structural-zero test on a zero-initialized accumulator
             if dense[var.0] == 0.0 {
                 touched.push(var.0);
             }
@@ -211,6 +212,7 @@ impl Model {
         let terms: Vec<(usize, f64)> = touched
             .into_iter()
             .map(|i| (i, dense[i]))
+            // flex-lint: allow(F1): exact-zero sparsity filter; an epsilon would change the model
             .filter(|(_, c)| *c != 0.0)
             .collect();
         let id = ConstraintId(self.constraints.len());

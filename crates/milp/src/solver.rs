@@ -143,6 +143,7 @@ impl MilpSolution {
     ///
     /// Panics on a foreign variable id.
     pub fn is_one(&self, var: crate::VarId) -> bool {
+        // flex-lint: allow(F1): round() yields an exact integer-valued float, so == is exact
         self.values[var.0].round() == 1.0
     }
 }

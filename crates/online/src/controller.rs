@@ -5,7 +5,7 @@
 //! independently. Because actions are idempotent, disagreement between
 //! instances can at worst overcorrect, never compromise safety.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flex_placement::{PlacedRack, RackId};
 use flex_power::{Topology, Watts};
@@ -13,7 +13,7 @@ use flex_sim::{SimDuration, SimTime};
 use flex_telemetry::TelemetryPayload;
 
 use crate::policy::{decide, ActionKind, DecisionInput, PolicyConfig};
-use crate::ImpactRegistry;
+use crate::{ImpactRegistry, OnlineError};
 
 /// A command a controller wants enforced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,8 +78,10 @@ pub struct Controller {
     config: ControllerConfig,
     ups_power: Vec<Option<(SimTime, Watts)>>,
     rack_power: Vec<Option<(SimTime, Watts)>>,
-    /// This instance's view of the actions it has requested.
-    action_log: HashMap<RackId, ActionKind>,
+    /// This instance's view of the actions it has requested. A BTreeMap
+    /// so iteration order — and therefore command order — is the same on
+    /// every run (lint rule D2).
+    action_log: BTreeMap<RackId, ActionKind>,
     /// Time since when the room has continuously looked healthy.
     healthy_since: Option<SimTime>,
     /// Set after a failover engaged; restore logic only runs then.
@@ -108,7 +110,7 @@ impl Controller {
             config,
             ups_power: vec![None; ups_count],
             rack_power: vec![None; rack_count],
-            action_log: HashMap::new(),
+            action_log: BTreeMap::new(),
             healthy_since: None,
             engaged: false,
             recent: Vec::new(),
@@ -121,7 +123,7 @@ impl Controller {
     }
 
     /// Racks this instance believes it has acted on.
-    pub fn action_log(&self) -> &HashMap<RackId, ActionKind> {
+    pub fn action_log(&self) -> &BTreeMap<RackId, ActionKind> {
         &self.action_log
     }
 
@@ -132,7 +134,18 @@ impl Controller {
     }
 
     /// Ingests a telemetry delivery and returns any commands to enforce.
-    pub fn on_delivery(&mut self, now: SimTime, payload: &TelemetryPayload) -> Vec<Command> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineError`] if the decision policy hits inconsistent
+    /// state (a rack referencing an unknown PDU-pair). A multi-primary
+    /// deployment treats an erroring instance as contributing no
+    /// commands this round; the other instances cover for it.
+    pub fn on_delivery(
+        &mut self,
+        now: SimTime,
+        payload: &TelemetryPayload,
+    ) -> Result<Vec<Command>, OnlineError> {
         match payload {
             TelemetryPayload::UpsSnapshot(snapshot) => {
                 for &(ups, w) in snapshot {
@@ -148,7 +161,7 @@ impl Controller {
                         *slot = Some((now, w));
                     }
                 }
-                Vec::new()
+                Ok(Vec::new())
             }
         }
     }
@@ -163,22 +176,17 @@ impl Controller {
     fn fresh_ups_powers(&self, now: SimTime) -> Option<Vec<Watts>> {
         // A UPS with no fresh reading is assumed at its limit — the
         // conservative treatment the paper requires when data is missing.
+        // Zipping the topology with the slots sidesteps any id lookup
+        // (`ups_power` is sized from `topology.ups_count()` at build).
         let mut out = Vec::with_capacity(self.ups_power.len());
         let mut any_fresh = false;
-        for (idx, slot) in self.ups_power.iter().enumerate() {
+        for (ups, slot) in self.topology.upses().iter().zip(&self.ups_power) {
             match slot {
                 Some((t, w)) if now.saturating_since(*t) <= self.config.staleness_limit => {
                     any_fresh = true;
                     out.push(*w);
                 }
-                _ => {
-                    let cap = self
-                        .topology
-                        .ups(flex_power::UpsId(idx))
-                        .expect("ups in topology")
-                        .capacity();
-                    out.push(cap);
-                }
+                _ => out.push(ups.capacity()),
             }
         }
         any_fresh.then_some(out)
@@ -196,9 +204,9 @@ impl Controller {
             .collect()
     }
 
-    fn evaluate(&mut self, now: SimTime) -> Vec<Command> {
+    fn evaluate(&mut self, now: SimTime) -> Result<Vec<Command>, OnlineError> {
         let Some(raw_ups_power) = self.fresh_ups_powers(now) else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
         // Project the recoveries of recently issued (not yet reflected)
         // actions onto the readings.
@@ -224,7 +232,7 @@ impl Controller {
                 rack_power: &rack_power,
                 ups_power: &ups_power,
             };
-            let outcome = decide(&input, &self.action_log, &self.registry, &self.config.policy);
+            let outcome = decide(&input, &self.action_log, &self.registry, &self.config.policy)?;
             let online =
                 crate::policy::infer_online(&self.topology, &ups_power, &self.config.policy);
             let mut commands = Vec::with_capacity(outcome.actions.len());
@@ -236,7 +244,7 @@ impl Controller {
                     pair,
                     &online,
                     action.estimated_recovery,
-                );
+                )?;
                 self.recent.push((now, action.rack, shares));
                 commands.push(Command::Act {
                     rack: action.rack,
@@ -246,12 +254,12 @@ impl Controller {
             if !commands.is_empty() {
                 self.engaged = true;
             }
-            return commands;
+            return Ok(commands);
         }
 
         // Healthy: consider restoration if we are engaged.
         if !self.engaged {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let all_in_service = self.topology.upses().iter().all(|u| {
             ups_power[u.id().0]
@@ -272,9 +280,9 @@ impl Controller {
                 self.action_log.clear();
                 self.engaged = false;
                 self.healthy_since = None;
-                return commands;
+                return Ok(commands);
             }
-            return Vec::new();
+            return Ok(Vec::new());
         }
         self.healthy_since = None;
 
@@ -307,21 +315,20 @@ impl Controller {
                     continue;
                 }
                 let shares =
-                    crate::policy::recovery_shares(&self.topology, r.pdu_pair, &online, returned);
+                    crate::policy::recovery_shares(&self.topology, r.pdu_pair, &online, returned)?;
+                // A UPS missing from the topology can never be proven
+                // safe, so such a share vetoes the lift.
                 let safe = shares.iter().all(|&(u, w)| {
-                    let cap = self
-                        .topology
-                        .ups(u)
-                        .expect("ups in topology")
-                        .capacity();
-                    let limit = cap * (1.0 - 2.0 * self.config.policy.buffer_fraction);
-                    !(ups_power[u.0] + w).exceeds(limit)
+                    self.topology.ups(u).is_ok_and(|ups| {
+                        let limit =
+                            ups.capacity() * (1.0 - 2.0 * self.config.policy.buffer_fraction);
+                        !(ups_power[u.0] + w).exceeds(limit)
+                    })
                 });
                 if safe {
                     // Prefer lifting the action that returns the least
                     // power (cheapest to re-take if load climbs back);
-                    // ties break by rack id for determinism across the
-                    // HashMap's iteration order.
+                    // ties break by rack id.
                     let better = match best {
                         Some((br, bw)) => {
                             returned < bw || (returned.approx_eq(bw, 1e-9) && rack < br)
@@ -342,7 +349,7 @@ impl Controller {
                     self.racks[rack.0].pdu_pair,
                     &crate::policy::infer_online(&self.topology, &ups_power, &self.config.policy),
                     returned,
-                )
+                )?
                 .into_iter()
                 .map(|(u, w)| (u, -w))
                 .collect();
@@ -350,10 +357,10 @@ impl Controller {
                 if self.action_log.is_empty() {
                     self.engaged = false;
                 }
-                return vec![Command::Restore { rack }];
+                return Ok(vec![Command::Restore { rack }]);
             }
         }
-        Vec::new()
+        Ok(Vec::new())
     }
 }
 
@@ -429,8 +436,8 @@ mod tests {
         let feed = FeedState::all_online(f.placed.room().topology());
         let (ups, racks) = snapshots(&f, &feed);
         let t = SimTime::from_secs_f64(1.0);
-        assert!(f.controller.on_delivery(t, &racks).is_empty());
-        assert!(f.controller.on_delivery(t, &ups).is_empty());
+        assert!(f.controller.on_delivery(t, &racks).unwrap().is_empty());
+        assert!(f.controller.on_delivery(t, &ups).unwrap().is_empty());
         assert!(!f.controller.is_engaged());
     }
 
@@ -445,11 +452,11 @@ mod tests {
         let (ups_ok, racks) = snapshots(&f, &normal);
         let (ups_bad, _) = snapshots(&f, &failed);
         let t1 = SimTime::from_secs_f64(1.0);
-        f.controller.on_delivery(t1, &racks);
-        f.controller.on_delivery(t1, &ups_ok);
+        f.controller.on_delivery(t1, &racks).unwrap();
+        f.controller.on_delivery(t1, &ups_ok).unwrap();
         let commands = f
             .controller
-            .on_delivery(SimTime::from_secs_f64(2.0), &ups_bad);
+            .on_delivery(SimTime::from_secs_f64(2.0), &ups_bad).unwrap();
         assert!(!commands.is_empty(), "overdraw must trigger actions");
         assert!(f.controller.is_engaged());
         assert!(commands
@@ -460,7 +467,7 @@ mod tests {
         // for the same racks (idempotency via the action log)…
         let again = f
             .controller
-            .on_delivery(SimTime::from_secs_f64(3.0), &ups_bad);
+            .on_delivery(SimTime::from_secs_f64(3.0), &ups_bad).unwrap();
         let firsts: std::collections::HashSet<RackId> = commands
             .iter()
             .map(|c| match c {
@@ -477,10 +484,10 @@ mod tests {
         // Recovery: healthy snapshots must persist for the hysteresis
         // before restores are issued.
         let t_ok = SimTime::from_secs_f64(10.0);
-        let none_yet = f.controller.on_delivery(t_ok, &ups_ok);
+        let none_yet = f.controller.on_delivery(t_ok, &ups_ok).unwrap();
         assert!(none_yet.is_empty(), "no restore before hysteresis");
         let t_late = t_ok + ControllerConfig::default().restore_hysteresis;
-        let restores = f.controller.on_delivery(t_late, &ups_ok);
+        let restores = f.controller.on_delivery(t_late, &ups_ok).unwrap();
         assert!(!restores.is_empty(), "restore after hysteresis");
         assert!(restores
             .iter()
@@ -496,14 +503,14 @@ mod tests {
         let normal = FeedState::all_online(&topo);
         let (ups_ok, racks) = snapshots(&f, &normal);
         let t1 = SimTime::from_secs_f64(1.0);
-        f.controller.on_delivery(t1, &racks);
-        f.controller.on_delivery(t1, &ups_ok);
+        f.controller.on_delivery(t1, &racks).unwrap();
+        f.controller.on_delivery(t1, &ups_ok).unwrap();
         // Much later, a snapshot covering only UPS 0 arrives; the other
         // three UPSes' readings are stale and assumed at capacity, so
         // the controller acts.
         let partial = TelemetryPayload::UpsSnapshot(vec![(UpsId(0), Watts::from_kw(900.0))]);
         let t2 = SimTime::from_secs_f64(120.0);
-        let commands = f.controller.on_delivery(t2, &partial);
+        let commands = f.controller.on_delivery(t2, &partial).unwrap();
         assert!(
             !commands.is_empty(),
             "missing data must be treated as overdraw (safety first)"
@@ -517,8 +524,8 @@ mod tests {
         let failed = FeedState::with_failed(&topo, [UpsId(0)]);
         let (ups_bad, racks) = snapshots(&f, &failed);
         let t = SimTime::from_secs_f64(1.0);
-        f.controller.on_delivery(t, &racks);
-        let commands = f.controller.on_delivery(t, &ups_bad);
+        f.controller.on_delivery(t, &racks).unwrap();
+        let commands = f.controller.on_delivery(t, &ups_bad).unwrap();
         let Command::Act { rack, .. } = commands[0] else {
             panic!("expected an action");
         };
@@ -528,7 +535,7 @@ mod tests {
         // The same rack may be selected again on the next snapshot.
         let retry = f
             .controller
-            .on_delivery(SimTime::from_secs_f64(2.5), &ups_bad);
+            .on_delivery(SimTime::from_secs_f64(2.5), &ups_bad).unwrap();
         assert!(retry.iter().any(|c| matches!(c, Command::Act { rack: r, .. } if *r == rack)));
     }
 }

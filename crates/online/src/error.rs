@@ -1,0 +1,70 @@
+//! Error type for the online control path.
+//!
+//! Flex-Online must never panic mid-shed (lint rule P1): a controller
+//! that dies during a failover leaves the room to the UPS trip curves.
+//! Every fallible step returns [`OnlineError`] instead.
+
+use std::error::Error;
+use std::fmt;
+
+use flex_power::{PduPairId, UpsId};
+
+/// Errors produced by the online decision path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OnlineError {
+    /// A UPS id did not belong to the controller's topology.
+    UnknownUps(UpsId),
+    /// A rack referenced a PDU-pair the topology does not contain.
+    UnknownPduPair(PduPairId),
+    /// A telemetry snapshot's length disagreed with the room shape.
+    SnapshotLength {
+        /// Which snapshot (`"rack"` or `"UPS"`).
+        what: &'static str,
+        /// Entries the room shape requires.
+        expected: usize,
+        /// Entries the snapshot carried.
+        got: usize,
+    },
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::UnknownUps(u) => write!(f, "{u} is not part of the controller topology"),
+            OnlineError::UnknownPduPair(p) => {
+                write!(f, "PDU-pair {} is not part of the controller topology", p.0)
+            }
+            OnlineError::SnapshotLength {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} snapshot has {got} entries, room has {expected}"),
+        }
+    }
+}
+
+impl Error for OnlineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OnlineError::SnapshotLength {
+            what: "UPS",
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("4"));
+        assert!(e.to_string().contains("2"));
+        assert!(!OnlineError::UnknownUps(UpsId(1)).to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OnlineError>();
+    }
+}

@@ -1,6 +1,6 @@
 //! Per-deployment impact functions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flex_power::Fraction;
 use flex_workload::impact::{ImpactFunction, ImpactScenario};
@@ -12,7 +12,7 @@ use flex_workload::{DeploymentId, WorkloadCategory};
 /// (Section IV-D, "in the absence of impact functions…").
 #[derive(Debug, Clone)]
 pub struct ImpactRegistry {
-    by_deployment: HashMap<DeploymentId, ImpactFunction>,
+    by_deployment: BTreeMap<DeploymentId, ImpactFunction>,
     default_sr: ImpactFunction,
     default_capable: ImpactFunction,
 }
@@ -21,14 +21,16 @@ impl ImpactRegistry {
     /// An empty registry with the paper's default ordering.
     pub fn new() -> Self {
         ImpactRegistry {
-            by_deployment: HashMap::new(),
+            by_deployment: BTreeMap::new(),
             // Shutting down unregistered software-redundant racks is a
             // last-but-one resort (high constant impact, below critical).
             default_sr: ImpactFunction::from_points(vec![(0.0, 0.9), (1.0, 0.95)])
+                // flex-lint: allow(P1): compile-time-constant knots, validity covered by unit tests
                 .expect("static knots"),
             // Throttling unregistered cap-able racks costs little and
             // grows linearly.
             default_capable: ImpactFunction::from_points(vec![(0.0, 0.0), (1.0, 0.5)])
+                // flex-lint: allow(P1): compile-time-constant knots, validity covered by unit tests
                 .expect("static knots"),
         }
     }

@@ -29,6 +29,7 @@
 
 mod actuation;
 mod controller;
+mod error;
 mod impact_registry;
 pub mod policy;
 pub mod prober;
@@ -36,5 +37,6 @@ pub mod sim;
 
 pub use actuation::{Actuator, ActuatorConfig, RackPowerState};
 pub use controller::{Command, Controller, ControllerConfig};
+pub use error::OnlineError;
 pub use impact_registry::ImpactRegistry;
 pub use policy::{Action, ActionKind, ActionSummary, DecisionInput, DecisionOutcome, PolicyConfig};

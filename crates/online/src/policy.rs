@@ -14,14 +14,14 @@
 //! ~0 W), which is sufficient because placement guarantees overdraw can
 //! only occur during failover (Section IV-D).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flex_placement::{PlacedRack, RackId};
 use flex_power::{PduPairId, Topology, UpsId, Watts};
 use flex_workload::{DeploymentId, WorkloadCategory};
 use serde::{Deserialize, Serialize};
 
-use crate::ImpactRegistry;
+use crate::{ImpactRegistry, OnlineError};
 
 /// The two corrective actions (plus restoration, used by the controller
 /// after the failover clears).
@@ -154,22 +154,27 @@ pub(crate) fn infer_online(
 
 /// How a candidate rack's recovery lands on the UPSes, given inferred
 /// feed state.
+///
+/// # Errors
+///
+/// Returns [`OnlineError::UnknownPduPair`] if `pair` is not in the
+/// topology.
 pub(crate) fn recovery_shares(
     topology: &Topology,
     pair: PduPairId,
     online: &[bool],
     recovery: Watts,
-) -> Vec<(UpsId, Watts)> {
+) -> Result<Vec<(UpsId, Watts)>, OnlineError> {
     let (a, b) = topology
         .pdu_pair(pair)
-        .expect("rack pair belongs to topology")
+        .map_err(|_| OnlineError::UnknownPduPair(pair))?
         .upstream();
-    match (online[a.0], online[b.0]) {
+    Ok(match (online[a.0], online[b.0]) {
         (true, true) => vec![(a, recovery * 0.5), (b, recovery * 0.5)],
         (true, false) => vec![(a, recovery)],
         (false, true) => vec![(b, recovery)],
         (false, false) => Vec::new(),
-    }
+    })
 }
 
 /// Runs Algorithm 1.
@@ -178,27 +183,39 @@ pub(crate) fn recovery_shares(
 /// are excluded from candidacy and counted toward each workload's
 /// affected fraction (`Impact(w, Actions ∪ …)` on line 10).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the snapshot lengths disagree with the rack/UPS counts.
+/// Returns [`OnlineError::SnapshotLength`] if the snapshot lengths
+/// disagree with the rack/UPS counts, and
+/// [`OnlineError::UnknownPduPair`] if a rack references a pair outside
+/// the topology. The decision path must never panic (lint rule P1): a
+/// controller that dies mid-shed leaves the room to the trip curves.
 pub fn decide(
     input: &DecisionInput<'_>,
-    prior_actions: &HashMap<RackId, ActionKind>,
+    prior_actions: &BTreeMap<RackId, ActionKind>,
     registry: &ImpactRegistry,
     config: &PolicyConfig,
-) -> DecisionOutcome {
-    assert_eq!(input.racks.len(), input.rack_power.len(), "rack snapshot length");
-    assert_eq!(
-        input.topology.ups_count(),
-        input.ups_power.len(),
-        "UPS snapshot length"
-    );
+) -> Result<DecisionOutcome, OnlineError> {
+    if input.racks.len() != input.rack_power.len() {
+        return Err(OnlineError::SnapshotLength {
+            what: "rack",
+            expected: input.racks.len(),
+            got: input.rack_power.len(),
+        });
+    }
+    if input.topology.ups_count() != input.ups_power.len() {
+        return Err(OnlineError::SnapshotLength {
+            what: "UPS",
+            expected: input.topology.ups_count(),
+            got: input.ups_power.len(),
+        });
+    }
     let topo = input.topology;
     let online = infer_online(topo, input.ups_power, config);
 
     // Per-deployment rack totals and already-affected counts.
-    let mut totals: HashMap<DeploymentId, usize> = HashMap::new();
-    let mut affected: HashMap<DeploymentId, usize> = HashMap::new();
+    let mut totals: BTreeMap<DeploymentId, usize> = BTreeMap::new();
+    let mut affected: BTreeMap<DeploymentId, usize> = BTreeMap::new();
     for rack in input.racks {
         *totals.entry(rack.deployment).or_insert(0) += 1;
         if prior_actions.contains_key(&rack.id) {
@@ -207,7 +224,7 @@ pub fn decide(
     }
 
     let mut projected: Vec<Watts> = input.ups_power.to_vec();
-    let mut acted: HashMap<RackId, ActionKind> = prior_actions.clone();
+    let mut acted: BTreeMap<RackId, ActionKind> = prior_actions.clone();
     let mut actions: Vec<Action> = Vec::new();
 
     let over_limit = |p: &[Watts]| -> Vec<UpsId> {
@@ -225,11 +242,11 @@ pub fn decide(
     loop {
         let overloaded = over_limit(&projected);
         if overloaded.is_empty() {
-            return DecisionOutcome {
+            return Ok(DecisionOutcome {
                 actions,
                 safe: true,
                 projected_ups_power: projected,
-            };
+            });
         }
 
         // One candidate per workload: its highest-recovery eligible rack.
@@ -241,7 +258,7 @@ pub fn decide(
             impact: f64,
         }
         let mut candidates: Vec<Candidate> = Vec::new();
-        let mut best_per_workload: HashMap<DeploymentId, (RackId, Watts)> = HashMap::new();
+        let mut best_per_workload: BTreeMap<DeploymentId, (RackId, Watts)> = BTreeMap::new();
         for rack in input.racks {
             if !rack.category.is_actionable() || acted.contains_key(&rack.id) {
                 continue;
@@ -250,13 +267,15 @@ pub fn decide(
             let recovery = match rack.category {
                 WorkloadCategory::SoftwareRedundant => draw,
                 WorkloadCategory::CapAble => (draw - rack.flex_power).clamp_non_negative(),
-                WorkloadCategory::NonCapAble => unreachable!("filtered above"),
+                // is_actionable() filtered this out; skip defensively
+                // rather than panic on the decision path.
+                WorkloadCategory::NonCapAble => continue,
             };
             if recovery.as_w() < 1.0 {
                 continue; // nothing to recover from this rack
             }
             // Must relieve at least one overloaded UPS.
-            let shares = recovery_shares(topo, rack.pdu_pair, &online, recovery);
+            let shares = recovery_shares(topo, rack.pdu_pair, &online, recovery)?;
             if !shares
                 .iter()
                 .any(|(u, w)| overloaded.contains(u) && w.as_w() > 0.0)
@@ -277,14 +296,14 @@ pub fn decide(
             } else {
                 ActionKind::Throttle
             };
-            let total = totals[&deployment];
+            let total = totals.get(&deployment).copied().unwrap_or(1);
             let done = affected.get(&deployment).copied().unwrap_or(0);
             let impact = registry.impact(deployment, rack.category, done + 1, total);
             candidates.push(Candidate {
                 rack: rack_id,
                 kind,
                 recovery,
-                shares: recovery_shares(topo, rack.pdu_pair, &online, recovery),
+                shares: recovery_shares(topo, rack.pdu_pair, &online, recovery)?,
                 impact,
             });
         }
@@ -297,11 +316,11 @@ pub fn decide(
                 .iter()
                 .filter(|u| online[u.id().0])
                 .all(|u| !projected[u.id().0].exceeds(u.capacity()));
-            return DecisionOutcome {
+            return Ok(DecisionOutcome {
                 actions,
                 safe: hard_safe,
                 projected_ups_power: projected,
-            };
+            });
         }
 
         // Impact-1.0 racks are last resorts: use them only if every
@@ -316,15 +335,20 @@ pub fn decide(
             }
         };
         // argmin impact; ties by max recovery, then lowest rack id.
-        let chosen = usable
-            .into_iter()
-            .min_by(|a, b| {
-                a.impact
-                    .total_cmp(&b.impact)
-                    .then(b.recovery.as_w().total_cmp(&a.recovery.as_w()))
-                    .then(a.rack.cmp(&b.rack))
-            })
-            .expect("usable set is non-empty");
+        // `usable` is non-empty here (candidates was checked above and
+        // the fallback keeps all of them), but take the panic-free path.
+        let Some(chosen) = usable.into_iter().min_by(|a, b| {
+            a.impact
+                .total_cmp(&b.impact)
+                .then(b.recovery.as_w().total_cmp(&a.recovery.as_w()))
+                .then(a.rack.cmp(&b.rack))
+        }) else {
+            return Ok(DecisionOutcome {
+                actions,
+                safe: false,
+                projected_ups_power: projected,
+            });
+        };
 
         for &(u, w) in &chosen.shares {
             projected[u.0] = (projected[u.0] - w).clamp_non_negative();
@@ -404,7 +428,7 @@ mod tests {
             ups_power: &ups,
         };
         let registry = registry_for(&placed, "Realistic-1");
-        let out = decide(&input, &HashMap::new(), &registry, &PolicyConfig::default());
+        let out = decide(&input, &BTreeMap::new(), &registry, &PolicyConfig::default()).unwrap();
         assert!(out.safe);
         assert!(out.actions.is_empty());
     }
@@ -423,7 +447,7 @@ mod tests {
         };
         let registry = registry_for(&placed, "Realistic-1");
         let config = PolicyConfig::default();
-        let out = decide(&input, &HashMap::new(), &registry, &config);
+        let out = decide(&input, &BTreeMap::new(), &registry, &config).unwrap();
         assert!(out.safe, "placement guarantees a safe outcome");
         assert!(!out.actions.is_empty());
         for u in topo.upses() {
@@ -461,8 +485,8 @@ mod tests {
         let config = PolicyConfig::default();
         let r1 = registry_for(&placed, "Extreme-1");
         let r2 = registry_for(&placed, "Extreme-2");
-        let out1 = decide(&input, &HashMap::new(), &r1, &config);
-        let out2 = decide(&input, &HashMap::new(), &r2, &config);
+        let out1 = decide(&input, &BTreeMap::new(), &r1, &config).unwrap();
+        let out2 = decide(&input, &BTreeMap::new(), &r2, &config).unwrap();
         let s1 = ActionSummary::compute(&out1.actions, placed.racks());
         let s2 = ActionSummary::compute(&out2.actions, placed.racks());
         assert!(
@@ -492,12 +516,12 @@ mod tests {
         };
         let registry = registry_for(&placed, "Realistic-2");
         let config = PolicyConfig::default();
-        let first = decide(&input, &HashMap::new(), &registry, &config);
+        let first = decide(&input, &BTreeMap::new(), &registry, &config).unwrap();
         // Feed the same snapshot plus the first decision's log back in:
         // the already-acted racks must not be selected again.
-        let log: HashMap<RackId, ActionKind> =
+        let log: BTreeMap<RackId, ActionKind> =
             first.actions.iter().map(|a| (a.rack, a.kind)).collect();
-        let second = decide(&input, &log, &registry, &config);
+        let second = decide(&input, &log, &registry, &config).unwrap();
         for a in &second.actions {
             assert!(!log.contains_key(&a.rack), "rack selected twice");
         }
@@ -535,7 +559,7 @@ mod tests {
                 ups_power: &inflated,
             };
             let registry = ImpactRegistry::new();
-            let out = decide(&input, &HashMap::new(), &registry, &PolicyConfig::default());
+            let out = decide(&input, &BTreeMap::new(), &registry, &PolicyConfig::default()).unwrap();
             assert!(!out.safe);
             assert!(out.actions.is_empty());
         }
@@ -584,7 +608,7 @@ mod tests {
                 ups_power: &ups,
             };
             let registry = registry_for(&placed, "Realistic-1");
-            let out = decide(&input, &HashMap::new(), &registry, &PolicyConfig::default());
+            let out = decide(&input, &BTreeMap::new(), &registry, &PolicyConfig::default()).unwrap();
             assert!(out.safe);
             impacted.push(out.actions.len());
         }

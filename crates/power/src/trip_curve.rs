@@ -92,6 +92,7 @@ impl TripCurve {
             ],
             210.0, // 3.5 minutes of ride-through at rated load
         )
+        // flex-lint: allow(P1): compile-time-constant curve, validity covered by unit tests
         .expect("static end-of-life curve is well-formed")
     }
 
@@ -109,6 +110,7 @@ impl TripCurve {
                 .collect(),
             eol.ride_through_secs,
         )
+        // flex-lint: allow(P1): positive scaling of a valid curve keeps every invariant
         .expect("scaled curve preserves ordering")
     }
 
@@ -131,7 +133,9 @@ impl TripCurve {
                 tolerance_secs: b.tolerance_secs.powf(1.0 - age) * e.tolerance_secs.powf(age),
             })
             .collect();
-        TripCurve::new(points, eol.ride_through_secs).expect("interpolation preserves ordering")
+        TripCurve::new(points, eol.ride_through_secs)
+            // flex-lint: allow(P1): geometric interpolation of two valid curves keeps every invariant
+            .expect("interpolation preserves ordering")
     }
 
     /// The curve's overload points, ascending by load.
@@ -163,7 +167,11 @@ impl TripCurve {
         if load_fraction <= self.trip_threshold() {
             return None;
         }
-        let last = self.points.last().expect("curve is non-empty");
+        // `TripCurve::new` rejects empty curves, so `last` always exists;
+        // degrade to "never trips" rather than panic if that ever breaks.
+        let Some(last) = self.points.last() else {
+            return None;
+        };
         if load_fraction >= last.load_fraction {
             return Some(last.tolerance_secs);
         }

@@ -136,16 +136,14 @@ impl MeterBank {
     }
 
     /// Forces a meter into a stuck state (targeted fault injection).
-    ///
-    /// # Panics
-    ///
-    /// Panics on a foreign UPS id.
+    /// Foreign UPS ids are ignored.
     pub fn force_stuck(&mut self, ups: UpsId, kind: MeterKind, until: SimTime) {
-        let kind_idx = MeterKind::ALL
-            .iter()
-            .position(|&k| k == kind)
-            .expect("kind is one of three");
-        self.ups_meters[ups.0][kind_idx].stuck_until = until;
+        let Some(kind_idx) = MeterKind::ALL.iter().position(|&k| k == kind) else {
+            return;
+        };
+        if let Some(row) = self.ups_meters.get_mut(ups.0) {
+            row[kind_idx].stuck_until = until;
+        }
     }
 }
 

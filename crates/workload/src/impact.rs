@@ -46,9 +46,11 @@ impl ImpactFunction {
         if points.len() < 2 {
             return Err("impact function needs at least two knots".into());
         }
+        // flex-lint: allow(F1): the contract demands knots at exactly 0 and 1 — exact checks are the point
         if points[0].0 != 0.0 {
             return Err("first knot must be at affected fraction 0".into());
         }
+        // flex-lint: allow(F1): see above — the endpoint must be exactly 1
         if points[points.len() - 1].0 != 1.0 {
             return Err("last knot must be at affected fraction 1".into());
         }
@@ -133,6 +135,7 @@ impl ImpactFunction {
     pub fn free_share(&self) -> f64 {
         let mut free = 0.0;
         for &(x, y) in &self.points {
+            // flex-lint: allow(F1): "free" means an impact knot of exactly zero, by definition
             if y == 0.0 {
                 free = x;
             } else {

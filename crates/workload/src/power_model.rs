@@ -78,6 +78,7 @@ impl RackPowerModel {
         // Iterative proportional fitting against the per-rack box bounds.
         for _ in 0..32 {
             let total: Watts = draws.iter().copied().sum();
+            // flex-lint: allow(F1): exact-zero guard before dividing by `total`
             if total.approx_eq(target, 1.0) || total.as_w() == 0.0 {
                 break;
             }

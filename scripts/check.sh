@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The one-command gate: release build, flex-lint (zero error-severity
+# findings allowed), then the full test suite. CI and pre-merge both run
+# exactly this; see DESIGN.md "The lint gate".
+#
+# Usage: scripts/check.sh [extra cargo test args...]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== check 1/3: build =="
+cargo build --offline --release --workspace
+
+echo "== check 2/3: flex-lint =="
+./target/release/flex-lint
+
+echo "== check 3/3: tests =="
+cargo test --offline --release -q "$@"
+
+echo "check: OK"

@@ -19,4 +19,17 @@ for bench in milp_solver placement_policies; do
         "${BENCH_ARGS[@]}" "$@"
 done
 
+# flex-lint must stay interactive-fast: a full-workspace pass (build
+# excluded) is budgeted at 5 s wall clock.
+echo "== perf smoke: flex-lint =="
+cargo build --offline --release -q -p flex-lint
+lint_start=$(date +%s%N)
+./target/release/flex-lint >/dev/null
+lint_elapsed_ms=$(( ($(date +%s%N) - lint_start) / 1000000 ))
+echo "flex-lint full-workspace pass: ${lint_elapsed_ms} ms (budget 5000 ms)"
+if [ "$lint_elapsed_ms" -ge 5000 ]; then
+    echo "perf smoke: FAIL — flex-lint exceeded its 5 s budget" >&2
+    exit 1
+fi
+
 echo "perf smoke: OK"

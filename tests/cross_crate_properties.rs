@@ -1,7 +1,7 @@
 //! Property-based tests spanning crates: random traces, random
 //! utilizations, random failovers — safety invariants must hold.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flex_core::online::policy::{decide, DecisionInput, PolicyConfig};
 use flex_core::online::ImpactRegistry;
@@ -68,7 +68,7 @@ proptest! {
             rack_power: &draws,
             ups_power: &ups_power,
         };
-        let outcome = decide(&input, &HashMap::new(), &registry, &PolicyConfig::default());
+        let outcome = decide(&input, &BTreeMap::new(), &registry, &PolicyConfig::default()).unwrap();
         prop_assert!(outcome.safe, "unsafe at util {util} failing {failed}");
         // No duplicate racks.
         let mut seen = std::collections::HashSet::new();

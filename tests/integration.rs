@@ -6,7 +6,7 @@
 //! contract end to end across the placement, workload, power, and online
 //! crates.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flex_core::online::policy::{decide, DecisionInput, PolicyConfig};
 use flex_core::online::ImpactRegistry;
@@ -69,10 +69,11 @@ fn any_placement_any_failover_is_recoverable() {
                 };
                 let outcome = decide(
                     &input,
-                    &HashMap::new(),
+                    &BTreeMap::new(),
                     &registry,
                     &PolicyConfig::default(),
-                );
+                )
+                .unwrap();
                 assert!(
                     outcome.safe,
                     "{policy}/{}: failover of {failed} unrecoverable at 100% utilization",
@@ -146,7 +147,7 @@ fn action_counts_scale_with_utilization() {
             rack_power: &draws,
             ups_power: &ups_power,
         };
-        let outcome = decide(&input, &HashMap::new(), &registry, &PolicyConfig::default());
+        let outcome = decide(&input, &BTreeMap::new(), &registry, &PolicyConfig::default()).unwrap();
         assert!(outcome.safe);
         assert!(
             outcome.actions.len() + 3 >= prev,

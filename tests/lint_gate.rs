@@ -1,0 +1,77 @@
+//! The lint gate: `cargo test` fails if any error-severity flex-lint
+//! finding survives suppression anywhere in the workspace.
+//!
+//! This is the enforcement half of the analyzer (see DESIGN.md, "The
+//! lint gate"): the CLI reports, this test gates.
+
+use std::path::{Path, PathBuf};
+
+use flex_lint::{lint_workspace, LintConfig, Severity};
+
+/// Walks up from the test binary's manifest dir to the workspace root
+/// (the directory holding `lint.toml`).
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        assert!(
+            dir.pop(),
+            "no lint.toml found above {}",
+            env!("CARGO_MANIFEST_DIR")
+        );
+    }
+}
+
+fn load_config(root: &Path) -> LintConfig {
+    LintConfig::load(&root.join("lint.toml")).expect("lint.toml parses")
+}
+
+#[test]
+fn workspace_has_no_error_severity_findings() {
+    let root = workspace_root();
+    let config = load_config(&root);
+    let report = lint_workspace(&root, &config).expect("workspace walk succeeds");
+    let errors: Vec<String> = report
+        .errors()
+        .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "flex-lint found {} error(s):\n{}\n\nFix the code, or add a justified \
+         `// flex-lint: allow(<rule>): <reason>` suppression.",
+        errors.len(),
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn workspace_lint_covers_the_tree() {
+    let root = workspace_root();
+    let config = load_config(&root);
+    let report = lint_workspace(&root, &config).expect("workspace walk succeeds");
+    // Sanity that the gate actually saw the workspace: every crate has
+    // at least a lib.rs or main.rs, and the tree holds well over 50
+    // Rust files. A collapse here means path handling broke, not code.
+    assert!(
+        report.files > 50,
+        "only {} files linted — workspace walk is broken",
+        report.files
+    );
+}
+
+#[test]
+fn every_crate_root_passes_h1() {
+    // H1 separately from the aggregate gate, so a header regression
+    // names itself even if someone weakens the main assertion.
+    let root = workspace_root();
+    let config = load_config(&root);
+    let report = lint_workspace(&root, &config).expect("workspace walk succeeds");
+    let h1: Vec<&flex_lint::Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "H1" && d.severity == Severity::Error)
+        .collect();
+    assert!(h1.is_empty(), "crate-header violations: {h1:?}");
+}
