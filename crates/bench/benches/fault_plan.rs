@@ -1,0 +1,60 @@
+//! Criterion: `FaultPlan` hot-path queries.
+//!
+//! `is_up` runs per poller × component × tick inside every telemetry
+//! and chaos simulation, so it must stay a binary search over merged
+//! windows. The name-formatting benchmark documents why callers cache
+//! component names (see `flex_sim::fault::names`) instead of formatting
+//! them per query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flex_core::sim::fault::{names, FaultPlan};
+use flex_core::sim::SimTime;
+
+fn build_plan(components: usize, windows_per: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for c in 0..components {
+        let name = names::rack_manager(c);
+        for w in 0..windows_per {
+            let base = (w * 20) as f64;
+            plan.add_outage(
+                &name,
+                SimTime::from_secs_f64(base + 1.0),
+                SimTime::from_secs_f64(base + 6.0),
+            );
+        }
+    }
+    plan
+}
+
+fn bench_fault_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_plan");
+    for &(components, windows) in &[(8usize, 4usize), (64, 16), (512, 32)] {
+        let plan = build_plan(components, windows);
+        let cached: Vec<String> = (0..components).map(names::rack_manager).collect();
+        group.bench_with_input(
+            BenchmarkId::new("is_up", format!("{components}c-{windows}w")),
+            &plan,
+            |b, plan| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    let t = SimTime::from_nanos(i.wrapping_mul(7_919) % 700_000_000_000);
+                    let name = &cached[(i as usize) % cached.len()];
+                    plan.is_up(name, t)
+                })
+            },
+        );
+    }
+    group.bench_function("build-512c-32w", |b| b.iter(|| build_plan(512, 32)));
+    group.bench_function("name-format-per-query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            names::rack_manager(i % 512)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_plan);
+criterion_main!(benches);

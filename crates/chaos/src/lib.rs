@@ -1,0 +1,35 @@
+//! flex-chaos: seeded fault-campaign harness for the Flex-Online
+//! closed loop.
+//!
+//! The paper's availability argument rests on the runtime loop working
+//! *while the room is misbehaving*: meters stick, pollers die, pub/sub
+//! duplicates, rack managers drop commands, controller instances crash
+//! — usually several at once, and usually at the worst moment. This
+//! crate turns that into a test surface:
+//!
+//! - [`scenario`] — replayable fault-combination scenarios: six
+//!   generator families (MTBF/MTTR background soup plus five
+//!   adversarial scripted shapes) over a small fast room, each fully
+//!   described by plain JSON-able data;
+//! - [`oracle`] — the post-run safety contract: no unexcused UPS trip,
+//!   no orphaned rack, bounded over-shed;
+//! - [`campaign`] — the driver: run N seeded scenarios, judge each,
+//!   greedily delta-minimize failures into 1-minimal reproducers, and
+//!   emit a byte-deterministic JSON report;
+//! - [`json`] — the self-contained JSON tree the reports and replay
+//!   files use (the vendored `serde` stand-in is API-only).
+//!
+//! The `flex-chaos` binary fronts all of it: `flex-chaos run` for
+//! campaigns, `flex-chaos replay` to re-run a failure from its JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod json;
+pub mod oracle;
+pub mod scenario;
+
+pub use campaign::{ab_probe, run, CampaignConfig, CampaignReport, Failure};
+pub use oracle::Violation;
+pub use scenario::{run_scenario, Scenario};

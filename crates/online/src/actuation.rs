@@ -8,7 +8,7 @@
 
 use flex_placement::RackId;
 use flex_sim::dist::{LogNormal, Sample};
-use flex_sim::fault::FaultPlan;
+use flex_sim::fault::{names as fault_names, FaultPlan};
 use flex_sim::rng::RngPool;
 use flex_sim::stats::Percentiles;
 use flex_sim::{SimDuration, SimTime};
@@ -38,6 +38,16 @@ pub struct ActuatorConfig {
     pub latency_sigma: f64,
     /// Extra delay for a rack to boot back up after a restore command.
     pub restart_delay: SimDuration,
+    /// First-retry backoff after a rejected submission; doubles per
+    /// attempt up to [`retry_backoff_max`](Self::retry_backoff_max).
+    pub retry_backoff_base: SimDuration,
+    /// Backoff ceiling.
+    pub retry_backoff_max: SimDuration,
+    /// Maximum resubmissions of a rejected command before giving up and
+    /// reporting enforcement failure to the controller. `0` disables
+    /// retries (the pre-hardening behavior: wait for the next decision
+    /// round).
+    pub max_retries: u32,
 }
 
 impl Default for ActuatorConfig {
@@ -46,7 +56,22 @@ impl Default for ActuatorConfig {
             latency_median_ms: 600.0,
             latency_sigma: 0.45,
             restart_delay: SimDuration::from_secs(90),
+            retry_backoff_base: SimDuration::from_millis(250),
+            retry_backoff_max: SimDuration::from_secs(2),
+            max_retries: 6,
         }
+    }
+}
+
+impl ActuatorConfig {
+    /// Deterministic exponential backoff before resubmission number
+    /// `attempt` (1-based): `base × 2^(attempt−1)`, capped at
+    /// [`retry_backoff_max`](Self::retry_backoff_max). No jitter — the
+    /// simulation's determinism guarantees depend on it, and distinct
+    /// controllers already desynchronize through their command streams.
+    pub fn retry_backoff(&self, attempt: u32) -> SimDuration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        (self.retry_backoff_base * (1u64 << doublings)).min(self.retry_backoff_max)
     }
 }
 
@@ -78,6 +103,10 @@ pub struct Actuator {
     /// its command queue), so a restore can never overtake an in-flight
     /// action.
     last_apply: Vec<SimTime>,
+    /// Precomputed `"rm/{rack}"` fault-plan names: reachability is
+    /// checked on every submission and formatting the name there showed
+    /// up in the closed-loop hot path (see benches/fault_plan.rs).
+    rm_names: Vec<String>,
     /// Latency from submission to enforcement for accepted commands.
     pub command_latency: Percentiles,
 }
@@ -91,9 +120,15 @@ impl Actuator {
             rng: pool.stream("actuator"),
             faults: FaultPlan::new(),
             last_apply: vec![SimTime::ZERO; rack_count],
+            rm_names: (0..rack_count).map(fault_names::rack_manager).collect(),
             command_latency: Percentiles::new(),
             config,
         }
+    }
+
+    /// The actuator's configuration.
+    pub fn config(&self) -> &ActuatorConfig {
+        &self.config
     }
 
     /// Attaches a fault plan (`"rm/{rack}"` outages).
@@ -101,13 +136,9 @@ impl Actuator {
         self.faults = plan;
     }
 
-    /// Current state of a rack.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a foreign rack id.
-    pub fn state(&self, rack: RackId) -> RackPowerState {
-        self.states[rack.0]
+    /// Current state of a rack, or `None` for a foreign rack id.
+    pub fn state(&self, rack: RackId) -> Option<RackPowerState> {
+        self.states.get(rack.0).copied()
     }
 
     /// All rack states (index = rack id).
@@ -149,18 +180,17 @@ impl Actuator {
         new_state: RackPowerState,
         extra_delay: SimDuration,
     ) -> Option<PendingCommand> {
-        if rack.0 >= self.states.len() {
-            return None;
-        }
-        if !self.faults.is_up(&format!("rm/{}", rack.0), now) {
+        // Foreign rack ids have no precomputed RM name and are rejected.
+        let rm = self.rm_names.get(rack.0)?;
+        if !self.faults.is_up(rm, now) {
             return None;
         }
         let latency_ms = self.latency.sample(&mut self.rng);
         let mut apply_at = now + SimDuration::from_secs_f64(latency_ms / 1_000.0) + extra_delay;
         // Per-rack FIFO: the RM serializes commands.
-        let earliest = self.last_apply[rack.0] + SimDuration::from_millis(1);
-        apply_at = apply_at.max(earliest);
-        self.last_apply[rack.0] = apply_at;
+        let last = self.last_apply.get_mut(rack.0)?;
+        apply_at = apply_at.max(*last + SimDuration::from_millis(1));
+        *last = apply_at;
         self.command_latency
             .record((apply_at - now).as_secs_f64());
         Some(PendingCommand {
@@ -179,13 +209,15 @@ impl Actuator {
     }
 
     /// The effective power a rack draws given its demand and envelope.
+    /// A foreign rack id is not under this actuator's control and passes
+    /// its demand through unconstrained.
     pub fn effective_power(
         &self,
         rack: RackId,
         demand: flex_power::Watts,
         flex_power: flex_power::Watts,
     ) -> flex_power::Watts {
-        match self.states[rack.0] {
+        match self.states.get(rack.0).copied().unwrap_or_default() {
             RackPowerState::Normal => demand,
             RackPowerState::Throttled => demand.min(flex_power),
             RackPowerState::Off => flex_power::Watts::ZERO,
@@ -209,9 +241,9 @@ mod tests {
             .submit_action(SimTime::ZERO, RackId(2), ActionKind::Throttle)
             .unwrap();
         assert!(cmd.apply_at > SimTime::ZERO);
-        assert_eq!(a.state(RackId(2)), RackPowerState::Normal, "not yet applied");
+        assert_eq!(a.state(RackId(2)), Some(RackPowerState::Normal), "not yet applied");
         a.apply(&cmd);
-        assert_eq!(a.state(RackId(2)), RackPowerState::Throttled);
+        assert_eq!(a.state(RackId(2)), Some(RackPowerState::Throttled));
     }
 
     #[test]
@@ -225,7 +257,7 @@ mod tests {
             .unwrap();
         a.apply(&c1);
         a.apply(&c2);
-        assert_eq!(a.state(RackId(0)), RackPowerState::Off);
+        assert_eq!(a.state(RackId(0)), Some(RackPowerState::Off));
     }
 
     #[test]
@@ -258,7 +290,7 @@ mod tests {
         let up = a.submit_restore(now, RackId(0)).unwrap();
         assert!(up.apply_at >= now + ActuatorConfig::default().restart_delay);
         a.apply(&up);
-        assert_eq!(a.state(RackId(0)), RackPowerState::Normal);
+        assert_eq!(a.state(RackId(0)), Some(RackPowerState::Normal));
         // Restoring a throttled rack has no restart delay.
         let t = a
             .submit_action(up.apply_at, RackId(0), ActionKind::Throttle)
@@ -327,5 +359,24 @@ mod tests {
         assert!(a
             .submit_action(SimTime::ZERO, RackId(5), ActionKind::Throttle)
             .is_none());
+        assert_eq!(a.state(RackId(5)), None);
+        // A foreign rack is not under actuator control: demand passes
+        // through instead of panicking.
+        assert_eq!(
+            a.effective_power(RackId(5), Watts::from_kw(7.0), Watts::from_kw(5.0)),
+            Watts::from_kw(7.0)
+        );
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let c = ActuatorConfig::default();
+        assert_eq!(c.retry_backoff(1), SimDuration::from_millis(250));
+        assert_eq!(c.retry_backoff(2), SimDuration::from_millis(500));
+        assert_eq!(c.retry_backoff(3), SimDuration::from_millis(1000));
+        assert_eq!(c.retry_backoff(4), SimDuration::from_millis(2000));
+        // Capped at the ceiling from then on.
+        assert_eq!(c.retry_backoff(5), SimDuration::from_secs(2));
+        assert_eq!(c.retry_backoff(60), SimDuration::from_secs(2));
     }
 }

@@ -5,7 +5,7 @@
 //! independently. Because actions are idempotent, disagreement between
 //! instances can at worst overcorrect, never compromise safety.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use flex_placement::{PlacedRack, RackId};
 use flex_power::{Topology, Watts};
@@ -53,6 +53,17 @@ pub struct ControllerConfig {
     /// dropped far enough that the reversal is provably safe (the
     /// paper's "some power caps may be lifted… (not shown here)").
     pub partial_relief: bool,
+    /// Telemetry-blackout watchdog: when a failover is known (alarm or
+    /// observed overdraw) and no fresh UPS snapshot has arrived for
+    /// [`blackout_deadline`](Self::blackout_deadline), shed preemptively
+    /// against a worst-case load assumption instead of waiting out the
+    /// trip window on stale hope.
+    pub blackout_watchdog: bool,
+    /// How long telemetry may stay dark during a known failover before
+    /// the watchdog sheds. Must exceed the normal poll interval plus
+    /// data latency (else it fires spuriously) and leave room for
+    /// actuation p99.9 inside the trip-curve tolerance.
+    pub blackout_deadline: SimDuration,
 }
 
 impl Default for ControllerConfig {
@@ -64,6 +75,8 @@ impl Default for ControllerConfig {
             staleness_limit: SimDuration::from_secs(15),
             reflect_window: SimDuration::from_secs(6),
             partial_relief: true,
+            blackout_watchdog: true,
+            blackout_deadline: SimDuration::from_secs(4),
         }
     }
 }
@@ -89,6 +102,16 @@ pub struct Controller {
     /// Recently issued actions whose effect telemetry has not yet
     /// reflected: (issued at, rack, estimated per-UPS recovery).
     recent: Vec<(SimTime, RackId, Vec<(flex_power::UpsId, Watts)>)>,
+    /// `measured_at` of the newest accepted fresh UPS snapshot.
+    last_ups_data: Option<SimTime>,
+    /// When this instance first learned a failover is in progress
+    /// (failover alarm or observed overdraw); cleared on full recovery.
+    failover_known: Option<SimTime>,
+    /// UPSes with an outstanding failover alarm.
+    alarmed: BTreeSet<flex_power::UpsId>,
+    /// The watchdog fired for the current dark period; re-armed by
+    /// fresh UPS data.
+    watchdog_fired: bool,
 }
 
 impl Controller {
@@ -114,6 +137,10 @@ impl Controller {
             healthy_since: None,
             engaged: false,
             recent: Vec::new(),
+            last_ups_data: None,
+            failover_known: None,
+            alarmed: BTreeSet::new(),
+            watchdog_fired: false,
         }
     }
 
@@ -135,6 +162,13 @@ impl Controller {
 
     /// Ingests a telemetry delivery and returns any commands to enforce.
     ///
+    /// `now` is the arrival time, `measured_at` the time the underlying
+    /// meters were read. Readings are keyed by `measured_at`: a slot
+    /// only accepts strictly newer data than what it already holds, so
+    /// duplicated or reordered deliveries (pub/sub redelivery) are
+    /// complete no-ops — they neither move state backwards nor trigger
+    /// an extra decision round.
+    ///
     /// # Errors
     ///
     /// Returns [`OnlineError`] if the decision policy hits inconsistent
@@ -144,26 +178,115 @@ impl Controller {
     pub fn on_delivery(
         &mut self,
         now: SimTime,
+        measured_at: SimTime,
         payload: &TelemetryPayload,
     ) -> Result<Vec<Command>, OnlineError> {
         match payload {
             TelemetryPayload::UpsSnapshot(snapshot) => {
+                // Accept only strictly newer readings: an equal
+                // timestamp is a pub/sub redelivery of data this
+                // instance already holds, and a redelivery must be a
+                // complete no-op — it is not evidence of fresh
+                // telemetry (so it must not re-arm the watchdog), and
+                // letting it trigger an extra evaluation would make the
+                // command stream depend on duplication patterns.
+                let mut accepted = false;
                 for &(ups, w) in snapshot {
                     if let Some(slot) = self.ups_power.get_mut(ups.0) {
-                        *slot = Some((now, w));
+                        if slot.map_or(true, |(t, _)| t < measured_at) {
+                            *slot = Some((measured_at, w));
+                            accepted = true;
+                        }
                     }
+                }
+                if !accepted {
+                    return Ok(Vec::new());
+                }
+                if now.saturating_since(measured_at) <= self.config.staleness_limit {
+                    self.last_ups_data = Some(match self.last_ups_data {
+                        Some(t) => t.max(measured_at),
+                        None => measured_at,
+                    });
+                    // Fresh data re-arms the blackout watchdog.
+                    self.watchdog_fired = false;
                 }
                 self.evaluate(now)
             }
             TelemetryPayload::RackSnapshot(snapshot) => {
                 for &(rack, w) in snapshot {
                     if let Some(slot) = self.rack_power.get_mut(rack) {
-                        *slot = Some((now, w));
+                        if slot.map_or(true, |(t, _)| t < measured_at) {
+                            *slot = Some((measured_at, w));
+                        }
                     }
                 }
                 Ok(Vec::new())
             }
         }
+    }
+
+    /// Notifies this instance that a UPS raised a failover alarm (an
+    /// out-of-band signal, independent of the metering pipeline). Arms
+    /// the blackout watchdog.
+    pub fn on_failover_alarm(&mut self, now: SimTime, ups: flex_power::UpsId) {
+        self.alarmed.insert(ups);
+        self.failover_known.get_or_insert(now);
+    }
+
+    /// Notifies this instance that a previously alarmed UPS is back in
+    /// service. When no alarms remain the failover is no longer "known";
+    /// a still-ongoing overdraw will re-arm it via telemetry.
+    pub fn on_ups_restored(&mut self, _now: SimTime, ups: flex_power::UpsId) {
+        self.alarmed.remove(&ups);
+        if self.alarmed.is_empty() {
+            self.failover_known = None;
+            self.watchdog_fired = false;
+        }
+    }
+
+    /// Periodic liveness tick for the telemetry-blackout watchdog.
+    ///
+    /// When a failover is known and no fresh UPS snapshot has arrived
+    /// within [`ControllerConfig::blackout_deadline`], decides against a
+    /// synthetic worst-case load view — alarmed UPSes at zero (failed),
+    /// all others at 4/3 of capacity, the paper's worst-case failover
+    /// overdraw — and sheds accordingly. Fires at most once per dark
+    /// period (re-armed by fresh data).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decision-policy errors exactly like
+    /// [`on_delivery`](Self::on_delivery).
+    pub fn on_tick(&mut self, now: SimTime) -> Result<Vec<Command>, OnlineError> {
+        if !self.config.blackout_watchdog || self.watchdog_fired {
+            return Ok(Vec::new());
+        }
+        let Some(known_at) = self.failover_known else {
+            return Ok(Vec::new());
+        };
+        let dark_since = match self.last_ups_data {
+            Some(t) => t.max(known_at),
+            None => known_at,
+        };
+        if now.saturating_since(dark_since) < self.config.blackout_deadline {
+            return Ok(Vec::new());
+        }
+        self.watchdog_fired = true;
+        // Worst-case synthetic view of the room.
+        let ups_power: Vec<Watts> = self
+            .topology
+            .upses()
+            .iter()
+            .map(|u| {
+                if self.alarmed.contains(&u.id()) {
+                    Watts::ZERO
+                } else {
+                    u.capacity() * (4.0 / 3.0)
+                }
+            })
+            .collect();
+        self.healthy_since = None;
+        self.shed_against(now, &ups_power)
     }
 
     /// Records that a previously issued action could not be enforced
@@ -225,36 +348,10 @@ impl Controller {
         });
         if over {
             self.healthy_since = None;
-            let rack_power = self.rack_powers();
-            let input = DecisionInput {
-                topology: &self.topology,
-                racks: &self.racks,
-                rack_power: &rack_power,
-                ups_power: &ups_power,
-            };
-            let outcome = decide(&input, &self.action_log, &self.registry, &self.config.policy)?;
-            let online =
-                crate::policy::infer_online(&self.topology, &ups_power, &self.config.policy);
-            let mut commands = Vec::with_capacity(outcome.actions.len());
-            for action in outcome.actions {
-                self.action_log.insert(action.rack, action.kind);
-                let pair = self.racks[action.rack.0].pdu_pair;
-                let shares = crate::policy::recovery_shares(
-                    &self.topology,
-                    pair,
-                    &online,
-                    action.estimated_recovery,
-                )?;
-                self.recent.push((now, action.rack, shares));
-                commands.push(Command::Act {
-                    rack: action.rack,
-                    kind: action.kind,
-                });
-            }
-            if !commands.is_empty() {
-                self.engaged = true;
-            }
-            return Ok(commands);
+            // An observed overdraw means a failover is in progress even
+            // without an out-of-band alarm.
+            self.failover_known.get_or_insert(now);
+            return self.shed_against(now, &ups_power);
         }
 
         // Healthy: consider restoration if we are engaged.
@@ -280,6 +377,9 @@ impl Controller {
                 self.action_log.clear();
                 self.engaged = false;
                 self.healthy_since = None;
+                self.failover_known = None;
+                self.alarmed.clear();
+                self.watchdog_fired = false;
                 return Ok(commands);
             }
             return Ok(Vec::new());
@@ -362,6 +462,45 @@ impl Controller {
         }
         Ok(Vec::new())
     }
+
+    /// Runs the shedding policy against the given (possibly synthetic)
+    /// per-UPS power view and records the resulting actions. Shared by
+    /// the telemetry path and the blackout watchdog.
+    fn shed_against(
+        &mut self,
+        now: SimTime,
+        ups_power: &[Watts],
+    ) -> Result<Vec<Command>, OnlineError> {
+        let rack_power = self.rack_powers();
+        let input = DecisionInput {
+            topology: &self.topology,
+            racks: &self.racks,
+            rack_power: &rack_power,
+            ups_power,
+        };
+        let outcome = decide(&input, &self.action_log, &self.registry, &self.config.policy)?;
+        let online = crate::policy::infer_online(&self.topology, ups_power, &self.config.policy);
+        let mut commands = Vec::with_capacity(outcome.actions.len());
+        for action in outcome.actions {
+            self.action_log.insert(action.rack, action.kind);
+            let pair = self.racks[action.rack.0].pdu_pair;
+            let shares = crate::policy::recovery_shares(
+                &self.topology,
+                pair,
+                &online,
+                action.estimated_recovery,
+            )?;
+            self.recent.push((now, action.rack, shares));
+            commands.push(Command::Act {
+                rack: action.rack,
+                kind: action.kind,
+            });
+        }
+        if !commands.is_empty() {
+            self.engaged = true;
+        }
+        Ok(commands)
+    }
 }
 
 #[cfg(test)]
@@ -436,8 +575,8 @@ mod tests {
         let feed = FeedState::all_online(f.placed.room().topology());
         let (ups, racks) = snapshots(&f, &feed);
         let t = SimTime::from_secs_f64(1.0);
-        assert!(f.controller.on_delivery(t, &racks).unwrap().is_empty());
-        assert!(f.controller.on_delivery(t, &ups).unwrap().is_empty());
+        assert!(f.controller.on_delivery(t, t, &racks).unwrap().is_empty());
+        assert!(f.controller.on_delivery(t, t, &ups).unwrap().is_empty());
         assert!(!f.controller.is_engaged());
     }
 
@@ -452,11 +591,11 @@ mod tests {
         let (ups_ok, racks) = snapshots(&f, &normal);
         let (ups_bad, _) = snapshots(&f, &failed);
         let t1 = SimTime::from_secs_f64(1.0);
-        f.controller.on_delivery(t1, &racks).unwrap();
-        f.controller.on_delivery(t1, &ups_ok).unwrap();
+        f.controller.on_delivery(t1, t1, &racks).unwrap();
+        f.controller.on_delivery(t1, t1, &ups_ok).unwrap();
         let commands = f
             .controller
-            .on_delivery(SimTime::from_secs_f64(2.0), &ups_bad).unwrap();
+            .on_delivery(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(2.0), &ups_bad).unwrap();
         assert!(!commands.is_empty(), "overdraw must trigger actions");
         assert!(f.controller.is_engaged());
         assert!(commands
@@ -467,7 +606,7 @@ mod tests {
         // for the same racks (idempotency via the action log)…
         let again = f
             .controller
-            .on_delivery(SimTime::from_secs_f64(3.0), &ups_bad).unwrap();
+            .on_delivery(SimTime::from_secs_f64(3.0), SimTime::from_secs_f64(3.0), &ups_bad).unwrap();
         let firsts: std::collections::HashSet<RackId> = commands
             .iter()
             .map(|c| match c {
@@ -484,10 +623,10 @@ mod tests {
         // Recovery: healthy snapshots must persist for the hysteresis
         // before restores are issued.
         let t_ok = SimTime::from_secs_f64(10.0);
-        let none_yet = f.controller.on_delivery(t_ok, &ups_ok).unwrap();
+        let none_yet = f.controller.on_delivery(t_ok, t_ok, &ups_ok).unwrap();
         assert!(none_yet.is_empty(), "no restore before hysteresis");
         let t_late = t_ok + ControllerConfig::default().restore_hysteresis;
-        let restores = f.controller.on_delivery(t_late, &ups_ok).unwrap();
+        let restores = f.controller.on_delivery(t_late, t_late, &ups_ok).unwrap();
         assert!(!restores.is_empty(), "restore after hysteresis");
         assert!(restores
             .iter()
@@ -503,18 +642,75 @@ mod tests {
         let normal = FeedState::all_online(&topo);
         let (ups_ok, racks) = snapshots(&f, &normal);
         let t1 = SimTime::from_secs_f64(1.0);
-        f.controller.on_delivery(t1, &racks).unwrap();
-        f.controller.on_delivery(t1, &ups_ok).unwrap();
+        f.controller.on_delivery(t1, t1, &racks).unwrap();
+        f.controller.on_delivery(t1, t1, &ups_ok).unwrap();
         // Much later, a snapshot covering only UPS 0 arrives; the other
         // three UPSes' readings are stale and assumed at capacity, so
         // the controller acts.
         let partial = TelemetryPayload::UpsSnapshot(vec![(UpsId(0), Watts::from_kw(900.0))]);
         let t2 = SimTime::from_secs_f64(120.0);
-        let commands = f.controller.on_delivery(t2, &partial).unwrap();
+        let commands = f.controller.on_delivery(t2, t2, &partial).unwrap();
         assert!(
             !commands.is_empty(),
             "missing data must be treated as overdraw (safety first)"
         );
+    }
+
+    #[test]
+    fn watchdog_sheds_on_dark_telemetry_after_alarm() {
+        let mut f = fixture(0.9);
+        let t_alarm = SimTime::from_secs_f64(5.0);
+        f.controller.on_failover_alarm(t_alarm, UpsId(0));
+        // Before the deadline: nothing.
+        let early = f.controller.on_tick(SimTime::from_secs_f64(8.0)).unwrap();
+        assert!(early.is_empty(), "watchdog fired before its deadline");
+        // Past the deadline with zero deliveries ever received: shed.
+        let fired = f.controller.on_tick(SimTime::from_secs_f64(9.5)).unwrap();
+        assert!(!fired.is_empty(), "watchdog must shed on dark telemetry");
+        assert!(fired.iter().all(|c| matches!(c, Command::Act { .. })));
+        assert!(f.controller.is_engaged());
+        // Fires at most once per dark period.
+        let again = f.controller.on_tick(SimTime::from_secs_f64(20.0)).unwrap();
+        assert!(again.is_empty(), "watchdog must latch until fresh data");
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_while_telemetry_flows() {
+        let mut f = fixture(0.9);
+        let topo = f.placed.room().topology().clone();
+        let failed = FeedState::with_failed(&topo, [UpsId(0)]);
+        let (ups_bad, racks) = snapshots(&f, &failed);
+        let t1 = SimTime::from_secs_f64(1.0);
+        f.controller.on_failover_alarm(t1, UpsId(0));
+        f.controller.on_delivery(t1, t1, &racks).unwrap();
+        // Fresh (overdraw) data arrives: the normal path sheds…
+        let acted = f
+            .controller
+            .on_delivery(SimTime::from_secs_f64(1.5), SimTime::from_secs_f64(1.4), &ups_bad)
+            .unwrap();
+        assert!(!acted.is_empty());
+        // …and the watchdog, armed but fed, produces nothing extra.
+        let tick = f.controller.on_tick(SimTime::from_secs_f64(5.0)).unwrap();
+        assert!(tick.is_empty(), "fed watchdog must not double-shed");
+    }
+
+    #[test]
+    fn stale_redelivery_does_not_rewind_state() {
+        let mut f = fixture(0.8);
+        let topo = f.placed.room().topology().clone();
+        let normal = FeedState::all_online(&topo);
+        let (ups_ok, racks) = snapshots(&f, &normal);
+        let t1 = SimTime::from_secs_f64(10.0);
+        f.controller.on_delivery(t1, t1, &racks).unwrap();
+        f.controller.on_delivery(t1, t1, &ups_ok).unwrap();
+        // A duplicate of an *older* measurement arrives later (pub/sub
+        // redelivery): it must not displace the newer reading, so the
+        // command stream stays empty exactly as without the duplicate.
+        let stale = f
+            .controller
+            .on_delivery(SimTime::from_secs_f64(12.0), SimTime::from_secs_f64(3.0), &ups_ok)
+            .unwrap();
+        assert!(stale.is_empty());
     }
 
     #[test]
@@ -524,8 +720,8 @@ mod tests {
         let failed = FeedState::with_failed(&topo, [UpsId(0)]);
         let (ups_bad, racks) = snapshots(&f, &failed);
         let t = SimTime::from_secs_f64(1.0);
-        f.controller.on_delivery(t, &racks).unwrap();
-        let commands = f.controller.on_delivery(t, &ups_bad).unwrap();
+        f.controller.on_delivery(t, t, &racks).unwrap();
+        let commands = f.controller.on_delivery(t, t, &ups_bad).unwrap();
         let Command::Act { rack, .. } = commands[0] else {
             panic!("expected an action");
         };
@@ -535,7 +731,7 @@ mod tests {
         // The same rack may be selected again on the next snapshot.
         let retry = f
             .controller
-            .on_delivery(SimTime::from_secs_f64(2.5), &ups_bad).unwrap();
+            .on_delivery(SimTime::from_secs_f64(2.5), SimTime::from_secs_f64(2.5), &ups_bad).unwrap();
         assert!(retry.iter().any(|c| matches!(c, Command::Act { rack: r, .. } if *r == rack)));
     }
 }

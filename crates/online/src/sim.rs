@@ -9,14 +9,17 @@
 //! accumulators, which will trip survivors and cascade the room to
 //! blackout if shedding arrives too late.
 
+use std::collections::BTreeMap;
+
 use flex_placement::{PlacedRack, PlacedRoom, RackId};
 use flex_power::meter::GroundTruth;
 use flex_power::trip_curve::{OverloadAccumulator, TripCurve};
 use flex_power::{FeedState, LoadModel, Topology, UpsId, Watts};
+use flex_sim::fault::{names as fault_names, FaultPlan};
 use flex_sim::rng::RngPool;
 use flex_sim::stats::{Percentiles, TimeSeries};
 use flex_sim::{Ctx, Sim, SimDuration, SimTime};
-use flex_telemetry::{Pipeline, PipelineConfig};
+use flex_telemetry::{Delivery, Pipeline, PipelineConfig};
 use rand::rngs::SmallRng;
 
 use crate::{
@@ -27,6 +30,32 @@ use crate::{
 /// Per-rack demand source: what the rack *wants* to draw at a given time
 /// (the actuator then caps or zeroes it).
 pub type DemandFn = Box<dyn FnMut(&PlacedRack, SimTime, &mut SmallRng) -> Watts>;
+
+/// Deterministic pub/sub misbehavior injected at delivery time:
+/// duplication and reordering, counter-based so identical runs replay
+/// identically. All periods `0` = disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeliveryChaos {
+    /// Deliver every Nth message twice (`0` = never). The duplicate
+    /// arrives [`duplicate_delay`](Self::duplicate_delay) after the
+    /// original's nominal arrival.
+    pub duplicate_period: u64,
+    /// Extra arrival delay of the duplicated copy.
+    pub duplicate_delay: SimDuration,
+    /// Delay every Nth message by [`delay_by`](Self::delay_by) (`0` =
+    /// never). A delayed message can arrive after later-measured ones —
+    /// reordering, not just lag.
+    pub delay_period: u64,
+    /// Delay amount for the delayed messages.
+    pub delay_by: SimDuration,
+}
+
+impl DeliveryChaos {
+    /// No chaos (the default).
+    pub fn off() -> Self {
+        DeliveryChaos::default()
+    }
+}
 
 /// Room simulation configuration.
 pub struct RoomSimConfig {
@@ -48,6 +77,13 @@ pub struct RoomSimConfig {
     pub trip_curve: TripCurve,
     /// Damage recovery time at tolerable load (seconds).
     pub damage_recovery_secs: f64,
+    /// How often each controller's blackout watchdog is ticked.
+    pub watchdog_poll_interval: SimDuration,
+    /// Latency of the out-of-band failover alarm from a UPS to the
+    /// controllers (independent of the metering pipeline).
+    pub alarm_latency: SimDuration,
+    /// Pub/sub duplication/reordering injection.
+    pub delivery_chaos: DeliveryChaos,
     /// Root seed for all stochastic components.
     pub seed: u64,
 }
@@ -64,6 +100,9 @@ impl Default for RoomSimConfig {
             overload_step: SimDuration::from_millis(250),
             trip_curve: TripCurve::end_of_life(),
             damage_recovery_secs: 60.0,
+            watchdog_poll_interval: SimDuration::from_millis(500),
+            alarm_latency: SimDuration::from_millis(200),
+            delivery_chaos: DeliveryChaos::off(),
             seed: 0xF1EC,
         }
     }
@@ -89,6 +128,18 @@ pub enum SimEvent {
         rack: RackId,
         /// Its new state.
         state: RackPowerState,
+    },
+    /// A rejected submission (unreachable RM) was queued for retry.
+    RetryScheduled {
+        /// The target rack.
+        rack: RackId,
+        /// The submission attempt that just failed (1-based).
+        attempt: u32,
+    },
+    /// A command was abandoned after exhausting its retry budget.
+    EnforcementDropped {
+        /// The target rack.
+        rack: RackId,
     },
 }
 
@@ -142,6 +193,25 @@ pub struct RoomWorld {
     rng: SmallRng,
     /// Time of the most recent scripted failure with no command yet.
     pending_detection: Option<SimTime>,
+    /// Controller-instance availability (crash injection), with
+    /// precomputed `"controller/{i}"` names.
+    controller_faults: FaultPlan,
+    controller_names: Vec<String>,
+    /// Out-of-band alarm latency (copied from the config).
+    alarm_latency: SimDuration,
+    /// Delivery duplication/reordering injection.
+    chaos: DeliveryChaos,
+    /// Monotone delivery counter driving the chaos periods.
+    delivery_seq: u64,
+    /// Per-(controller, rack) submission generation: a retry chain
+    /// carries the generation it was born with and abandons itself when
+    /// a newer command for the same rack supersedes it.
+    retry_gen: BTreeMap<(usize, RackId), u64>,
+    /// Per-rack count of scheduled-but-unfinished enforcements
+    /// (in-flight applies plus queued retries). The safety oracle uses
+    /// this to distinguish "rack Off with an owner still working on it"
+    /// from an orphaned rack.
+    inflight: BTreeMap<RackId, usize>,
     /// Statistics.
     pub stats: RoomStats,
 }
@@ -200,6 +270,25 @@ impl RoomWorld {
         }
     }
 
+    /// True if controller instance `i` is up (not crash-injected).
+    fn controller_up(&self, i: usize, now: SimTime) -> bool {
+        self.controller_names
+            .get(i)
+            .map_or(true, |n| self.controller_faults.is_up(n, now))
+    }
+
+    fn bump_inflight(&mut self, rack: RackId, delta: isize) {
+        let entry = self.inflight.entry(rack).or_insert(0);
+        if delta >= 0 {
+            *entry += delta as usize;
+        } else {
+            *entry = entry.saturating_sub(delta.unsigned_abs());
+        }
+        if *entry == 0 {
+            self.inflight.remove(&rack);
+        }
+    }
+
     fn handle_commands(
         &mut self,
         now: SimTime,
@@ -218,34 +307,139 @@ impl RoomWorld {
             }
         }
         for cmd in commands {
-            let pending = match cmd {
-                Command::Act { rack, kind } => self.actuator.submit_action(now, rack, kind),
-                Command::Restore { rack } => self.actuator.submit_restore(now, rack),
+            let rack = match cmd {
+                Command::Act { rack, .. } | Command::Restore { rack } => rack,
             };
-            match pending {
-                Some(p) => {
-                    self.stats
-                        .action_latency
-                        .record((p.apply_at - now).as_secs_f64());
-                    ctx.schedule_at(p.apply_at, move |w: &mut RoomWorld, _| {
-                        w.actuator.apply(&p);
-                        w.stats.events.push((
-                            p.apply_at,
-                            SimEvent::Applied {
-                                rack: p.rack,
-                                state: p.new_state,
-                            },
-                        ));
-                    });
-                }
-                None => {
-                    let rack = match cmd {
-                        Command::Act { rack, .. } | Command::Restore { rack } => rack,
-                    };
-                    self.controllers[controller_idx].on_enforcement_failed(rack);
+            // A new command for this (controller, rack) supersedes any
+            // retry chain still backing off for it.
+            let gen = {
+                let entry = self.retry_gen.entry((controller_idx, rack)).or_insert(0);
+                *entry += 1;
+                *entry
+            };
+            self.submit_with_retry(now, controller_idx, cmd, 1, gen, ctx);
+        }
+    }
+
+    /// One submission attempt (1-based `attempt`) of a controller
+    /// command. Rejections back off deterministically and resubmit until
+    /// the actuator's retry budget is exhausted, then surface as an
+    /// enforcement failure so the controller re-decides.
+    fn submit_with_retry(
+        &mut self,
+        now: SimTime,
+        controller_idx: usize,
+        cmd: Command,
+        attempt: u32,
+        gen: u64,
+        ctx: &mut Ctx<RoomWorld>,
+    ) {
+        let rack = match cmd {
+            Command::Act { rack, .. } | Command::Restore { rack } => rack,
+        };
+        let pending = match cmd {
+            Command::Act { rack, kind } => self.actuator.submit_action(now, rack, kind),
+            Command::Restore { rack } => self.actuator.submit_restore(now, rack),
+        };
+        match pending {
+            Some(p) => {
+                self.stats
+                    .action_latency
+                    .record((p.apply_at - now).as_secs_f64());
+                self.bump_inflight(rack, 1);
+                ctx.schedule_at(p.apply_at, move |w: &mut RoomWorld, _| {
+                    w.actuator.apply(&p);
+                    w.bump_inflight(p.rack, -1);
+                    w.stats.events.push((
+                        p.apply_at,
+                        SimEvent::Applied {
+                            rack: p.rack,
+                            state: p.new_state,
+                        },
+                    ));
+                });
+            }
+            None if attempt <= self.actuator.config().max_retries => {
+                let backoff = self.actuator.config().retry_backoff(attempt);
+                self.stats
+                    .events
+                    .push((now, SimEvent::RetryScheduled { rack, attempt }));
+                self.bump_inflight(rack, 1);
+                ctx.schedule_at(now + backoff, move |w: &mut RoomWorld, ctx| {
+                    w.bump_inflight(rack, -1);
+                    // Superseded by a newer command for this rack?
+                    if w.retry_gen.get(&(controller_idx, rack)).copied() != Some(gen) {
+                        return;
+                    }
+                    let later = ctx.now();
+                    w.submit_with_retry(later, controller_idx, cmd, attempt + 1, gen, ctx);
+                });
+            }
+            None => {
+                self.stats
+                    .events
+                    .push((now, SimEvent::EnforcementDropped { rack }));
+                if let Some(c) = self.controllers.get_mut(controller_idx) {
+                    c.on_enforcement_failed(rack);
                 }
             }
         }
+    }
+}
+
+/// Schedules the out-of-band failover alarm: every live controller
+/// learns of a UPS loss `alarm_latency` after it happens, independent
+/// of the metering pipeline (which may itself be dark).
+fn schedule_failover_alarm(w: &mut RoomWorld, ctx: &mut Ctx<RoomWorld>, now: SimTime, ups: UpsId) {
+    let alarm_at = now + w.alarm_latency;
+    ctx.schedule_at(alarm_at, move |w: &mut RoomWorld, _| {
+        for i in 0..w.controllers.len() {
+            if !w.controller_up(i, alarm_at) {
+                continue;
+            }
+            if let Some(c) = w.controllers.get_mut(i) {
+                c.on_failover_alarm(alarm_at, ups);
+            }
+        }
+    });
+}
+
+/// Schedules one telemetry delivery toward all live controller
+/// instances, applying the configured duplication/reordering chaos.
+fn dispatch_delivery(w: &mut RoomWorld, ctx: &mut Ctx<RoomWorld>, d: &Delivery) {
+    w.delivery_seq += 1;
+    let seq = w.delivery_seq;
+    let chaos = w.chaos;
+    let mut arrivals = Vec::with_capacity(2);
+    let mut first = d.arrive_at;
+    if chaos.delay_period > 0 && seq % chaos.delay_period == 0 {
+        first = first + chaos.delay_by;
+    }
+    arrivals.push(first);
+    if chaos.duplicate_period > 0 && seq % chaos.duplicate_period == 0 {
+        // The duplicate keeps the nominal arrival as its base, so a
+        // delayed original can arrive *after* its own duplicate.
+        arrivals.push(d.arrive_at + chaos.duplicate_delay);
+    }
+    for arrive in arrivals {
+        let payload = d.payload.clone();
+        let measured_at = d.measured_at;
+        ctx.schedule_at(arrive, move |w: &mut RoomWorld, ctx| {
+            for i in 0..w.controllers.len() {
+                // A crashed instance processes nothing; an erroring one
+                // contributes no commands. The other primaries cover.
+                if !w.controller_up(i, arrive) {
+                    continue;
+                }
+                let commands = match w.controllers.get_mut(i) {
+                    Some(c) => c
+                        .on_delivery(arrive, measured_at, &payload)
+                        .unwrap_or_default(),
+                    None => Vec::new(),
+                };
+                w.handle_commands(arrive, i, commands, ctx);
+            }
+        });
     }
 }
 
@@ -288,6 +482,9 @@ impl RoomSim {
             .collect();
         let feed = FeedState::all_online(&topo);
         let stats = RoomStats::new(topo.ups_count());
+        let controller_names = (0..config.controllers)
+            .map(fault_names::controller)
+            .collect();
         let world = RoomWorld {
             topo,
             racks,
@@ -300,6 +497,13 @@ impl RoomSim {
             accumulators,
             rng,
             pending_detection: None,
+            controller_faults: FaultPlan::new(),
+            controller_names,
+            alarm_latency: config.alarm_latency,
+            chaos: config.delivery_chaos,
+            delivery_seq: 0,
+            retry_gen: BTreeMap::new(),
+            inflight: BTreeMap::new(),
             stats,
         };
         let mut sim = Sim::new(world);
@@ -312,18 +516,8 @@ impl RoomSim {
                 let loads = w.ups_loads();
                 let truth = GroundTruth::from_loads(loads);
                 let deliveries = w.pipeline.poll_upses(now, &truth);
-                for d in deliveries {
-                    let payload = d.payload.clone();
-                    let arrive = d.arrive_at;
-                    ctx.schedule_at(arrive, move |w: &mut RoomWorld, ctx| {
-                        for i in 0..w.controllers.len() {
-                            // An erroring instance contributes no
-                            // commands; the other primaries cover it.
-                            let commands =
-                                w.controllers[i].on_delivery(arrive, &payload).unwrap_or_default();
-                            w.handle_commands(arrive, i, commands, ctx);
-                        }
-                    });
+                for d in &deliveries {
+                    dispatch_delivery(w, ctx, d);
                 }
                 let interval2 = interval;
                 ctx.schedule_in(interval, move |w, ctx| ups_tick(interval2)(w, ctx));
@@ -340,16 +534,8 @@ impl RoomSim {
                 let now = ctx.now();
                 let powers = w.effective_rack_power();
                 let deliveries = w.pipeline.poll_racks(now, &powers);
-                for d in deliveries {
-                    let payload = d.payload.clone();
-                    let arrive = d.arrive_at;
-                    ctx.schedule_at(arrive, move |w: &mut RoomWorld, ctx| {
-                        for i in 0..w.controllers.len() {
-                            let commands =
-                                w.controllers[i].on_delivery(arrive, &payload).unwrap_or_default();
-                            w.handle_commands(arrive, i, commands, ctx);
-                        }
-                    });
+                for d in &deliveries {
+                    dispatch_delivery(w, ctx, d);
                 }
                 let interval2 = interval;
                 ctx.schedule_in(interval, move |w, ctx| rack_tick(interval2)(w, ctx));
@@ -395,6 +581,7 @@ impl RoomSim {
                     // topology, so the failure cannot be rejected.
                     if w.feed.fail(id).is_ok() {
                         w.stats.events.push((now, SimEvent::UpsTripped(id)));
+                        schedule_failover_alarm(w, ctx, now, id);
                     }
                 }
                 let step2 = step;
@@ -425,6 +612,31 @@ impl RoomSim {
             move |w: &mut RoomWorld, ctx| tick(w, ctx)
         });
 
+        // Blackout-watchdog liveness tick: lets controllers act on the
+        // *absence* of telemetry, which no delivery-driven path can.
+        let watchdog_interval = config.watchdog_poll_interval;
+        fn watchdog_tick(interval: SimDuration) -> impl FnMut(&mut RoomWorld, &mut Ctx<RoomWorld>) {
+            move |w, ctx| {
+                let now = ctx.now();
+                for i in 0..w.controllers.len() {
+                    if !w.controller_up(i, now) {
+                        continue;
+                    }
+                    let commands = match w.controllers.get_mut(i) {
+                        Some(c) => c.on_tick(now).unwrap_or_default(),
+                        None => Vec::new(),
+                    };
+                    w.handle_commands(now, i, commands, ctx);
+                }
+                let interval2 = interval;
+                ctx.schedule_in(interval, move |w, ctx| watchdog_tick(interval2)(w, ctx));
+            }
+        }
+        sim.schedule_at(SimTime::from_nanos(5), {
+            let mut tick = watchdog_tick(watchdog_interval);
+            move |w: &mut RoomWorld, ctx| tick(w, ctx)
+        });
+
         RoomSim { sim }
     }
 
@@ -433,10 +645,11 @@ impl RoomSim {
     /// A script referencing a UPS outside the topology is ignored (the
     /// event loop must not panic mid-run — lint rule P1).
     pub fn fail_ups_at(&mut self, t: SimTime, ups: UpsId) {
-        self.sim.schedule_at(t, move |w: &mut RoomWorld, _| {
+        self.sim.schedule_at(t, move |w: &mut RoomWorld, ctx| {
             if w.feed.fail(ups).is_ok() {
                 w.pending_detection = Some(t);
                 w.stats.events.push((t, SimEvent::UpsFailed(ups)));
+                schedule_failover_alarm(w, ctx, t, ups);
             }
         });
     }
@@ -445,15 +658,35 @@ impl RoomSim {
     ///
     /// A script referencing a UPS outside the topology is ignored.
     pub fn restore_ups_at(&mut self, t: SimTime, ups: UpsId) {
-        self.sim.schedule_at(t, move |w: &mut RoomWorld, _| {
+        self.sim.schedule_at(t, move |w: &mut RoomWorld, ctx| {
             if w.feed.restore(ups).is_ok() {
                 if let Some(acc) = w.accumulators.get_mut(ups.0) {
                     acc.reset();
                 }
                 w.pending_detection = None;
                 w.stats.events.push((t, SimEvent::UpsRestored(ups)));
+                let alarm_at = t + w.alarm_latency;
+                ctx.schedule_at(alarm_at, move |w: &mut RoomWorld, _| {
+                    for i in 0..w.controllers.len() {
+                        if !w.controller_up(i, alarm_at) {
+                            continue;
+                        }
+                        if let Some(c) = w.controllers.get_mut(i) {
+                            c.on_ups_restored(alarm_at, ups);
+                        }
+                    }
+                });
             }
         });
+    }
+
+    /// Schedules an arbitrary world mutation at `t` (targeted fault
+    /// injection mid-run: forcing meters stuck, swapping fault plans…).
+    pub fn schedule_world<F>(&mut self, t: SimTime, f: F)
+    where
+        F: FnOnce(&mut RoomWorld, &mut Ctx<RoomWorld>) + 'static,
+    {
+        self.sim.schedule_at(t, f);
     }
 
     /// Runs until the given virtual time.
@@ -486,6 +719,44 @@ impl RoomWorld {
     /// Attaches a fault plan to the actuation path.
     pub fn set_actuator_fault_plan(&mut self, plan: flex_sim::fault::FaultPlan) {
         self.actuator.set_fault_plan(plan);
+    }
+
+    /// Attaches a fault plan to the controller instances (crash
+    /// injection via `"controller/{i}"` component names).
+    pub fn set_controller_fault_plan(&mut self, plan: flex_sim::fault::FaultPlan) {
+        self.controller_faults = plan;
+    }
+
+    /// The per-UPS overload accumulators (index = UPS id).
+    pub fn accumulators(&self) -> &[OverloadAccumulator] {
+        &self.accumulators
+    }
+
+    /// The room's electrical topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The placed racks (index = rack id).
+    pub fn racks(&self) -> &[PlacedRack] {
+        &self.racks
+    }
+
+    /// The controller instances.
+    pub fn controllers(&self) -> &[Controller] {
+        &self.controllers
+    }
+
+    /// Mutable access to the telemetry pipeline (targeted fault
+    /// injection: forcing meters stuck, etc.).
+    pub fn pipeline_mut(&mut self) -> &mut Pipeline {
+        &mut self.pipeline
+    }
+
+    /// True if an enforcement (apply or retry) is still in flight for
+    /// this rack — i.e. some owner is actively working on it.
+    pub fn pending_enforcement(&self, rack: RackId) -> bool {
+        self.inflight.get(&rack).copied().unwrap_or(0) > 0
     }
 }
 

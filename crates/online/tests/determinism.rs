@@ -75,16 +75,16 @@ fn run_once(placed: &PlacedRoom, draws: &[Watts]) -> Vec<String> {
     let healthy = FeedState::all_online(&topo);
     let (ups, racks) = snapshots(placed, draws, &healthy);
     let t0 = SimTime::from_secs_f64(1.0);
-    record(t0, controller.on_delivery(t0, &racks).unwrap());
-    record(t0, controller.on_delivery(t0, &ups).unwrap());
+    record(t0, controller.on_delivery(t0, t0, &racks).unwrap());
+    record(t0, controller.on_delivery(t0, t0, &ups).unwrap());
 
     let failed = FeedState::with_failed(&topo, [UpsId(0)]);
     let (ups, racks) = snapshots(placed, draws, &failed);
     let mut t = 20.0;
     while t < 80.0 {
         let now = SimTime::from_secs_f64(t);
-        record(now, controller.on_delivery(now, &racks).unwrap());
-        record(now, controller.on_delivery(now, &ups).unwrap());
+        record(now, controller.on_delivery(now, now, &racks).unwrap());
+        record(now, controller.on_delivery(now, now, &ups).unwrap());
         t += 1.5;
     }
     log
@@ -128,11 +128,11 @@ fn controller_action_log_is_identical_across_runs() {
     let mut b = build();
     for step in 0..10 {
         let now = SimTime::from_secs_f64(20.0 + 1.5 * step as f64);
-        let ca = a.on_delivery(now, &racks).unwrap();
-        let cb = b.on_delivery(now, &racks).unwrap();
+        let ca = a.on_delivery(now, now, &racks).unwrap();
+        let cb = b.on_delivery(now, now, &racks).unwrap();
         assert_eq!(ca, cb, "rack snapshot at {now:?} diverged");
-        let ca = a.on_delivery(now, &ups).unwrap();
-        let cb = b.on_delivery(now, &ups).unwrap();
+        let ca = a.on_delivery(now, now, &ups).unwrap();
+        let cb = b.on_delivery(now, now, &ups).unwrap();
         assert_eq!(ca, cb, "ups snapshot at {now:?} diverged");
     }
     assert_eq!(

@@ -218,6 +218,9 @@ pub struct OverloadAccumulator {
     recovery_secs: f64,
     damage: f64,
     tripped: bool,
+    elapsed: f64,
+    overload_started: Option<f64>,
+    trip_overload_secs: Option<f64>,
 }
 
 impl OverloadAccumulator {
@@ -234,6 +237,9 @@ impl OverloadAccumulator {
             recovery_secs,
             damage: 0.0,
             tripped: false,
+            elapsed: 0.0,
+            overload_started: None,
+            trip_overload_secs: None,
         }
     }
 
@@ -247,16 +253,31 @@ impl OverloadAccumulator {
     pub fn advance(&mut self, dt_secs: f64, load_fraction: f64) -> bool {
         assert!(dt_secs >= 0.0 && !dt_secs.is_nan(), "dt must be non-negative");
         if self.tripped {
+            self.elapsed += dt_secs;
             return true;
         }
         match self.curve.tolerance(load_fraction) {
-            Some(tol) => self.damage += dt_secs / tol,
-            None => self.damage = (self.damage - dt_secs / self.recovery_secs).max(0.0),
+            Some(tol) => {
+                if self.overload_started.is_none() {
+                    self.overload_started = Some(self.elapsed);
+                }
+                self.damage += dt_secs / tol;
+            }
+            None => {
+                self.damage = (self.damage - dt_secs / self.recovery_secs).max(0.0);
+                if self.damage <= 0.0 {
+                    self.overload_started = None;
+                }
+            }
         }
+        self.elapsed += dt_secs;
         // Trip epsilon absorbs float error from log-log interpolation, so a
         // constant overload trips after exactly its curve tolerance.
         if self.damage >= 1.0 - 1e-9 {
             self.tripped = true;
+            self.trip_overload_secs = self
+                .overload_started
+                .map(|s| (self.elapsed - s).max(0.0));
         }
         self.tripped
     }
@@ -287,10 +308,29 @@ impl OverloadAccumulator {
         &self.curve
     }
 
+    /// Total simulated time this accumulator has integrated (seconds since
+    /// construction or the last [`reset`](Self::reset)).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Length of the contiguous damage-carrying window that ended in a
+    /// trip: seconds from the moment damage last started accruing from
+    /// zero to the trip instant. `None` while the device has not tripped.
+    ///
+    /// A safety oracle uses this to ask "was telemetry dark for the whole
+    /// window the device spent dying?" without replaying load history.
+    pub fn trip_overload_secs(&self) -> Option<f64> {
+        self.trip_overload_secs
+    }
+
     /// Resets damage and the tripped latch (device replaced/serviced).
     pub fn reset(&mut self) {
         self.damage = 0.0;
         self.tripped = false;
+        self.elapsed = 0.0;
+        self.overload_started = None;
+        self.trip_overload_secs = None;
     }
 }
 
@@ -424,6 +464,48 @@ mod tests {
         let half = acc.time_to_trip(4.0 / 3.0).unwrap();
         assert!((half - 5.0).abs() < 1e-9);
         assert!(acc.time_to_trip(0.8).is_none());
+    }
+
+    #[test]
+    fn trip_window_accounting_tracks_contiguous_overload() {
+        let mut acc = OverloadAccumulator::new(TripCurve::end_of_life(), 60.0);
+        assert_eq!(acc.trip_overload_secs(), None);
+        // 30 s of healthy load, then a fatal 133% overload.
+        acc.advance(30.0, 0.8);
+        for _ in 0..10 {
+            acc.advance(1.0, 4.0 / 3.0);
+        }
+        assert!(acc.is_tripped());
+        assert!((acc.elapsed_secs() - 40.0).abs() < 1e-9);
+        let window = acc.trip_overload_secs().unwrap();
+        assert!((window - 10.0).abs() < 1e-9, "got {window}");
+    }
+
+    #[test]
+    fn trip_window_restarts_after_full_recovery() {
+        let mut acc = OverloadAccumulator::new(TripCurve::end_of_life(), 5.0);
+        // Brief overload, then full recovery: the window pointer resets.
+        acc.advance(2.0, 4.0 / 3.0); // 20% damage
+        acc.advance(10.0, 0.5); // decays to zero
+        assert!((acc.damage() - 0.0).abs() < 1e-12);
+        acc.advance(100.0, 0.5);
+        for _ in 0..10 {
+            acc.advance(1.0, 4.0 / 3.0);
+        }
+        assert!(acc.is_tripped());
+        // Window covers only the second overload episode, not the first.
+        let window = acc.trip_overload_secs().unwrap();
+        assert!((window - 10.0).abs() < 1e-9, "got {window}");
+    }
+
+    #[test]
+    fn reset_clears_trip_accounting() {
+        let mut acc = OverloadAccumulator::new(TripCurve::end_of_life(), 60.0);
+        acc.advance(20.0, 4.0 / 3.0);
+        assert!(acc.trip_overload_secs().is_some());
+        acc.reset();
+        assert_eq!(acc.trip_overload_secs(), None);
+        assert_eq!(acc.elapsed_secs(), 0.0);
     }
 
     #[test]

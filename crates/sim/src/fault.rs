@@ -4,11 +4,57 @@
 //! meters, switches, pollers, pub/sub instances, and controllers on
 //! schedules — both hand-written (worst-case scenarios) and generated from
 //! MTBF/MTTR models.
+//!
+//! Queries are hot (every poller × component × tick), so outages are
+//! indexed per component with sorted, merged windows and answered by
+//! binary search; callers should precompute component-name strings once
+//! (see [`names`]) instead of formatting them per query.
+
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::dist::{Exponential, Sample};
 use crate::{SimDuration, SimTime};
+
+/// The shared fault-component name registry.
+///
+/// Every subsystem that consults a [`FaultPlan`] derives its component
+/// names from these constructors, so a chaos harness, the telemetry
+/// pipeline, and the actuation path can never disagree on spelling.
+pub mod names {
+    /// Telemetry poller `i` (`"poller/{i}"`).
+    pub fn poller(i: usize) -> String {
+        format!("poller/{i}")
+    }
+
+    /// Management switch group `g` (`"switch/{g}"`).
+    pub fn switch(g: usize) -> String {
+        format!("switch/{g}")
+    }
+
+    /// Pub/sub instance `k` (`"pubsub/{k}"`).
+    pub fn pubsub(k: usize) -> String {
+        format!("pubsub/{k}")
+    }
+
+    /// Logical UPS meter of kind `kind` on UPS `u`
+    /// (`"meter/ups{u}/{kind}"`); `kind` is the `Debug` rendering of
+    /// the meter kind, e.g. `UpsOutput`.
+    pub fn ups_meter(u: usize, kind: &str) -> String {
+        format!("meter/ups{u}/{kind}")
+    }
+
+    /// Rack manager of rack `r` (`"rm/{r}"`).
+    pub fn rack_manager(r: usize) -> String {
+        format!("rm/{r}")
+    }
+
+    /// Multi-primary controller instance `i` (`"controller/{i}"`).
+    pub fn controller(i: usize) -> String {
+        format!("controller/{i}")
+    }
+}
 
 /// A half-open outage window `[from, until)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,6 +89,10 @@ impl Outage {
 
 /// Up/down schedule for a set of named components.
 ///
+/// Windows are stored per component, sorted by start and merged when they
+/// touch or overlap, so [`FaultPlan::is_up`] is a binary search rather
+/// than a scan of every outage in the plan.
+///
 /// ```
 /// use flex_sim::fault::FaultPlan;
 /// use flex_sim::SimTime;
@@ -55,7 +105,9 @@ impl Outage {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
-    outages: Vec<(String, Outage)>,
+    /// Per-component outage windows, sorted by `from` and
+    /// non-overlapping (merged at insertion).
+    outages: BTreeMap<String, Vec<Outage>>,
 }
 
 impl FaultPlan {
@@ -64,14 +116,34 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Adds an outage window for a component.
+    /// True if the plan contains no outages at all.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+    }
+
+    /// Adds an outage window for a component. Overlapping or touching
+    /// windows for the same component are merged.
     ///
     /// # Panics
     ///
     /// Panics if `until <= from`.
     pub fn add_outage(&mut self, component: &str, from: SimTime, until: SimTime) -> &mut Self {
-        self.outages
-            .push((component.to_owned(), Outage::new(from, until)));
+        let new = Outage::new(from, until);
+        let windows = self.outages.entry(component.to_owned()).or_default();
+        // Insert keeping windows sorted by `from`, merging overlaps so a
+        // point query touches exactly one candidate window.
+        let idx = windows.partition_point(|o| o.from < new.from);
+        windows.insert(idx, new);
+        let mut merged: Vec<Outage> = Vec::with_capacity(windows.len());
+        for &o in windows.iter() {
+            match merged.last_mut() {
+                Some(last) if o.from <= last.until => {
+                    last.until = last.until.max(o.until);
+                }
+                _ => merged.push(o),
+            }
+        }
+        *windows = merged;
         self
     }
 
@@ -109,19 +181,21 @@ impl FaultPlan {
     /// True if the component is up at time `t`. Components without any
     /// outage are always up.
     pub fn is_up(&self, component: &str, t: SimTime) -> bool {
-        !self
-            .outages
-            .iter()
-            .any(|(c, o)| c == component && o.contains(t))
+        let Some(windows) = self.outages.get(component) else {
+            return true;
+        };
+        // The only window that can contain `t` is the last one starting
+        // at or before it (windows are sorted and non-overlapping).
+        let idx = windows.partition_point(|o| o.from <= t);
+        match idx.checked_sub(1).and_then(|i| windows.get(i)) {
+            Some(o) => !o.contains(t),
+            None => true,
+        }
     }
 
-    /// All outage windows for a component, in insertion order.
+    /// All outage windows for a component, sorted by start and merged.
     pub fn outages_of(&self, component: &str) -> Vec<Outage> {
-        self.outages
-            .iter()
-            .filter(|(c, _)| c == component)
-            .map(|(_, o)| *o)
-            .collect()
+        self.outages.get(component).cloned().unwrap_or_default()
     }
 
     /// Total downtime of a component within `[0, horizon)`.
@@ -137,12 +211,17 @@ impl FaultPlan {
             .sum()
     }
 
-    /// The components mentioned in this plan.
+    /// The components mentioned in this plan, sorted.
     pub fn components(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.outages.iter().map(|(c, _)| c.as_str()).collect();
-        names.sort_unstable();
-        names.dedup();
-        names
+        self.outages.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates over every `(component, outage)` pair, sorted by
+    /// component then start time (used for report serialization).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, Outage)> + '_ {
+        self.outages
+            .iter()
+            .flat_map(|(c, ws)| ws.iter().map(move |&o| (c.as_str(), o)))
     }
 }
 
@@ -150,7 +229,7 @@ impl FaultPlan {
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn outage_window_semantics() {
@@ -176,6 +255,28 @@ mod tests {
         assert!(!plan.is_up("x", SimTime::from_secs_f64(7.0)));
         assert!(!plan.is_up("x", SimTime::from_secs_f64(12.0)));
         assert!(plan.is_up("x", SimTime::from_secs_f64(15.0)));
+        // Overlapping windows merge into one.
+        assert_eq!(plan.outages_of("x").len(), 1);
+    }
+
+    #[test]
+    fn disjoint_windows_stay_separate_and_searchable() {
+        let mut plan = FaultPlan::new();
+        // Inserted out of order on purpose.
+        plan.add_outage("x", SimTime::from_secs_f64(40.0), SimTime::from_secs_f64(50.0));
+        plan.add_outage("x", SimTime::from_secs_f64(0.0), SimTime::from_secs_f64(10.0));
+        plan.add_outage("x", SimTime::from_secs_f64(20.0), SimTime::from_secs_f64(30.0));
+        assert_eq!(plan.outages_of("x").len(), 3);
+        for (t, up) in [
+            (5.0, false),
+            (15.0, true),
+            (25.0, false),
+            (35.0, true),
+            (45.0, false),
+            (50.0, true),
+        ] {
+            assert_eq!(plan.is_up("x", SimTime::from_secs_f64(t)), up, "t={t}");
+        }
     }
 
     #[test]
@@ -233,5 +334,42 @@ mod tests {
         plan.add_outage("a", SimTime::ZERO, SimTime::from_secs_f64(1.0));
         plan.add_outage("a", SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(3.0));
         assert_eq!(plan.components(), vec!["a", "b"]);
+        let entries: Vec<(&str, Outage)> = plan.entries().collect();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].0, "a");
+    }
+
+    #[test]
+    fn name_registry_matches_wire_format() {
+        assert_eq!(names::poller(0), "poller/0");
+        assert_eq!(names::switch(3), "switch/3");
+        assert_eq!(names::pubsub(1), "pubsub/1");
+        assert_eq!(names::ups_meter(2, "UpsOutput"), "meter/ups2/UpsOutput");
+        assert_eq!(names::rack_manager(41), "rm/41");
+        assert_eq!(names::controller(2), "controller/2");
+    }
+
+    #[test]
+    fn indexed_is_up_agrees_with_linear_scan() {
+        // Regression for the index rewrite: compare against the obvious
+        // O(n) implementation over a messy random plan.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut plan = FaultPlan::new();
+        let mut raw: Vec<(String, Outage)> = Vec::new();
+        for i in 0..200 {
+            let comp = format!("c/{}", i % 7);
+            let from = SimTime::from_secs_f64(rng.gen_range(0.0..500.0));
+            let until = from + SimDuration::from_secs_f64(rng.gen_range(0.1..40.0));
+            plan.add_outage(&comp, from, until);
+            raw.push((comp, Outage { from, until }));
+        }
+        for i in 0..1000 {
+            let t = SimTime::from_secs_f64(i as f64 * 0.55);
+            for c in 0..7 {
+                let comp = format!("c/{c}");
+                let linear = !raw.iter().any(|(n, o)| *n == comp && o.contains(t));
+                assert_eq!(plan.is_up(&comp, t), linear, "{comp} at {t}");
+            }
+        }
     }
 }

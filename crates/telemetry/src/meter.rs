@@ -141,8 +141,12 @@ impl MeterBank {
         let Some(kind_idx) = MeterKind::ALL.iter().position(|&k| k == kind) else {
             return;
         };
-        if let Some(row) = self.ups_meters.get_mut(ups.0) {
-            row[kind_idx].stuck_until = until;
+        if let Some(state) = self
+            .ups_meters
+            .get_mut(ups.0)
+            .and_then(|row| row.get_mut(kind_idx))
+        {
+            state.stuck_until = until;
         }
     }
 }

@@ -3,7 +3,7 @@
 use flex_power::meter::{GroundTruth, MeterKind};
 use flex_power::{UpsId, Watts};
 use flex_sim::dist::{LogNormal, Sample};
-use flex_sim::fault::FaultPlan;
+use flex_sim::fault::{names, FaultPlan};
 use flex_sim::rng::RngPool;
 use flex_sim::stats::Percentiles;
 use flex_sim::{SimDuration, SimTime};
@@ -65,6 +65,13 @@ pub struct Pipeline {
     latency_rng: SmallRng,
     latency_dist: LogNormal,
     data_latency: Percentiles,
+    // Fault-plan component names, precomputed once: `is_up` runs per
+    // component per poll tick, and formatting names there dominated the
+    // poll cost (see benches/fault_plan.rs).
+    poller_names: Vec<String>,
+    switch_names: Vec<String>,
+    pubsub_names: Vec<String>,
+    ups_meter_names: Vec<Vec<String>>,
 }
 
 impl Pipeline {
@@ -85,6 +92,17 @@ impl Pipeline {
             ),
             faults: FaultPlan::new(),
             data_latency: Percentiles::new(),
+            poller_names: (0..config.pollers).map(names::poller).collect(),
+            switch_names: (0..config.switch_groups.max(1)).map(names::switch).collect(),
+            pubsub_names: (0..config.pubsub_instances).map(names::pubsub).collect(),
+            ups_meter_names: (0..ups_count)
+                .map(|u| {
+                    MeterKind::ALL
+                        .iter()
+                        .map(|kind| names::ups_meter(u, &format!("{kind:?}")))
+                        .collect()
+                })
+                .collect(),
             config,
         }
     }
@@ -109,8 +127,31 @@ impl Pipeline {
         &mut self.data_latency
     }
 
-    fn is_up(&self, component: &str, now: SimTime) -> bool {
-        self.faults.is_up(component, now)
+    // Availability checks against precomputed names; unknown indices
+    // (never produced by the poll loops) degrade to "up".
+    fn poller_up(&self, i: usize, now: SimTime) -> bool {
+        self.poller_names
+            .get(i)
+            .map_or(true, |n| self.faults.is_up(n, now))
+    }
+
+    fn switch_up(&self, g: usize, now: SimTime) -> bool {
+        self.switch_names
+            .get(g)
+            .map_or(true, |n| self.faults.is_up(n, now))
+    }
+
+    fn pubsub_up(&self, k: usize, now: SimTime) -> bool {
+        self.pubsub_names
+            .get(k)
+            .map_or(true, |n| self.faults.is_up(n, now))
+    }
+
+    fn ups_meter_up(&self, u: usize, k: usize, now: SimTime) -> bool {
+        self.ups_meter_names
+            .get(u)
+            .and_then(|row| row.get(k))
+            .map_or(true, |n| self.faults.is_up(n, now))
     }
 
     fn sample_delivery_time(&mut self, now: SimTime) -> SimTime {
@@ -129,7 +170,7 @@ impl Pipeline {
         let ups_count = self.meters.ups_count();
         let mut deliveries = Vec::new();
         for poller in 0..self.config.pollers {
-            if !self.is_up(&format!("poller/{poller}"), now) {
+            if !self.poller_up(poller, now) {
                 continue;
             }
             // Consensus per UPS over the reachable logical meters.
@@ -139,10 +180,10 @@ impl Pipeline {
                 let mut normalized: Vec<f64> = Vec::with_capacity(3);
                 for (k, kind) in MeterKind::ALL.into_iter().enumerate() {
                     let switch = k % self.config.switch_groups.max(1);
-                    if !self.is_up(&format!("switch/{switch}"), now) {
+                    if !self.switch_up(switch, now) {
                         continue;
                     }
-                    if !self.is_up(&format!("meter/ups{u}/{kind:?}"), now) {
+                    if !self.ups_meter_up(u, k, now) {
                         continue;
                     }
                     if let Some(raw) = self.meters.read_ups(ups, kind, now, truth.it_power(ups)) {
@@ -157,7 +198,7 @@ impl Pipeline {
                 continue;
             }
             for pubsub in 0..self.config.pubsub_instances {
-                if !self.is_up(&format!("pubsub/{pubsub}"), now) {
+                if !self.pubsub_up(pubsub, now) {
                     continue;
                 }
                 let arrive_at = self.sample_delivery_time(now);
@@ -180,13 +221,13 @@ impl Pipeline {
     pub fn poll_racks(&mut self, now: SimTime, rack_truth: &[Watts]) -> Vec<Delivery> {
         let mut deliveries = Vec::new();
         for poller in 0..self.config.pollers {
-            if !self.is_up(&format!("poller/{poller}"), now) {
+            if !self.poller_up(poller, now) {
                 continue;
             }
             // Rack meters route through the switch group matching the
             // poller (each poller has an independent network path).
             let switch = poller % self.config.switch_groups.max(1);
-            if !self.is_up(&format!("switch/{switch}"), now) {
+            if !self.switch_up(switch, now) {
                 continue;
             }
             let mut snapshot: Vec<(usize, Watts)> = Vec::with_capacity(rack_truth.len());
@@ -199,7 +240,7 @@ impl Pipeline {
                 continue;
             }
             for pubsub in 0..self.config.pubsub_instances {
-                if !self.is_up(&format!("pubsub/{pubsub}"), now) {
+                if !self.pubsub_up(pubsub, now) {
                     continue;
                 }
                 let arrive_at = self.sample_delivery_time(now);
@@ -217,16 +258,15 @@ impl Pipeline {
 }
 
 fn median(values: &mut Vec<f64>) -> Option<f64> {
-    if values.is_empty() {
-        return None;
-    }
     values.sort_by(f64::total_cmp);
     let n = values.len();
-    Some(if n % 2 == 1 {
-        values[n / 2]
+    let mid = values.get(n / 2)?;
+    if n % 2 == 1 {
+        Some(*mid)
     } else {
-        0.5 * (values[n / 2 - 1] + values[n / 2])
-    })
+        // n is even and non-zero here, so n/2 - 1 is in range.
+        values.get(n / 2 - 1).map(|lo| 0.5 * (lo + mid))
+    }
 }
 
 #[cfg(test)]

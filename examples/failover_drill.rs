@@ -51,6 +51,12 @@ fn run(controllers: usize, label: &str) {
             SimEvent::FirstCommand { controller } => {
                 println!("  {at} controller {controller} issued first corrective command")
             }
+            SimEvent::RetryScheduled { rack, attempt } => {
+                println!("  {at} rack {} enforcement retry (attempt {attempt})", rack.0)
+            }
+            SimEvent::EnforcementDropped { rack } => {
+                println!("  {at} rack {} enforcement DROPPED after retries", rack.0)
+            }
             SimEvent::Applied { .. } => {}
         }
     }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # The one-command gate: release build, flex-lint (zero error-severity
-# findings allowed), then the full test suite. CI and pre-merge both run
-# exactly this; see DESIGN.md "The lint gate".
+# findings allowed), the full test suite, then the chaos smoke campaign
+# (scripts/chaos_smoke.sh). CI and pre-merge both run exactly this; see
+# DESIGN.md "The lint gate" and "Chaos harness".
 #
 # Usage: scripts/check.sh [extra cargo test args...]
 
@@ -9,13 +10,16 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== check 1/3: build =="
+echo "== check 1/4: build =="
 cargo build --offline --release --workspace
 
-echo "== check 2/3: flex-lint =="
+echo "== check 2/4: flex-lint =="
 ./target/release/flex-lint
 
-echo "== check 3/3: tests =="
+echo "== check 3/4: tests =="
 cargo test --offline --release -q "$@"
+
+echo "== check 4/4: chaos smoke =="
+scripts/chaos_smoke.sh
 
 echo "check: OK"
