@@ -2,7 +2,7 @@
 //! 10-second end-to-end budget. Measured on the 360-rack emulation room
 //! and the 600-rack placement room at failover utilizations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flex_core::online::policy::{decide, DecisionInput, PolicyConfig};
@@ -57,10 +57,11 @@ fn bench_decide(c: &mut Criterion) {
                 };
                 let outcome = decide(
                     &input,
-                    &HashMap::new(),
+                    &BTreeMap::new(),
                     &registry,
                     &PolicyConfig::default(),
-                );
+                )
+                .expect("well-formed snapshot");
                 assert!(outcome.safe);
                 outcome
             })

@@ -1,0 +1,57 @@
+//! Criterion: `flex-obs` instrumentation overhead.
+//!
+//! Two questions decide whether the control path can afford to keep
+//! observability on in every run:
+//!
+//! 1. How close to free is the **noop** handle? Every hot-path call
+//!    site pays this even in uninstrumented builds, so it must compile
+//!    down to a branch on `None`.
+//! 2. What does a **recording** handle cost per counter bump, span
+//!    sample, and flight event? These bound the instrumented campaign
+//!    overhead that `scripts/perf_smoke.sh` holds under 15%.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flex_core::obs::{FlightEvent, Obs};
+use flex_core::sim::{SimDuration, SimTime};
+
+fn bench_handles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    for (label, obs) in [("noop", Obs::noop()), ("recording", Obs::recording())] {
+        let counter = obs.counter("bench/items");
+        group.bench_with_input(BenchmarkId::new("counter-inc", label), &(), |b, ()| {
+            b.iter(|| counter.inc())
+        });
+
+        let hist = obs.histogram("bench/sizes");
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("histogram-observe", label), &(), |b, ()| {
+            b.iter(|| {
+                i = i.wrapping_add(2_654_435_761);
+                hist.observe(i >> 32)
+            })
+        });
+
+        let span = obs.span("bench/latency");
+        let mut j = 0u64;
+        group.bench_with_input(BenchmarkId::new("span-record", label), &(), |b, ()| {
+            b.iter(|| {
+                j += 1;
+                span.record(SimDuration::from_nanos(j % 1_000_000))
+            })
+        });
+
+        let mut t = 0u64;
+        group.bench_with_input(BenchmarkId::new("record-event", label), &(), |b, ()| {
+            b.iter(|| {
+                t += 1;
+                obs.record_with(SimTime::from_nanos(t), || FlightEvent::WatchdogTick {
+                    controller: 0,
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_handles);
+criterion_main!(benches);

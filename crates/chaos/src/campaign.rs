@@ -5,6 +5,8 @@
 //! and the minimizer are all seeded and wall-clock-free, so two runs of
 //! the same campaign produce byte-identical JSON reports.
 
+use flex_obs::Obs;
+
 use crate::json::{obj, Value};
 use crate::oracle::{self, Violation};
 use crate::scenario::{self, Scenario};
@@ -22,6 +24,11 @@ pub struct CampaignConfig {
     pub retries: bool,
     /// Delta-minimize failing scenarios before reporting?
     pub minimize: bool,
+    /// Run every scenario with a recording [`Obs`] and embed each
+    /// failure's flight-recorder dump in the report? Recording never
+    /// perturbs the simulation, so `obs` on/off cannot change verdicts
+    /// — only whether forensics ride along.
+    pub obs: bool,
 }
 
 impl Default for CampaignConfig {
@@ -32,6 +39,7 @@ impl Default for CampaignConfig {
             watchdog: true,
             retries: true,
             minimize: true,
+            obs: true,
         }
     }
 }
@@ -47,6 +55,11 @@ pub struct Failure {
     /// The delta-minimized scenario (same violation kinds still fire),
     /// if minimization ran.
     pub minimized: Option<Scenario>,
+    /// The failing run's `flex-obs` dump (metrics + flight-recorder
+    /// window), if the campaign ran with [`CampaignConfig::obs`] on.
+    /// `flex-obs print/summary` reconstructs the decision timeline
+    /// from this subtree alone.
+    pub recorder: Option<Value>,
 }
 
 impl Failure {
@@ -62,6 +75,10 @@ impl Failure {
                 self.minimized
                     .as_ref()
                     .map_or(Value::Null, Scenario::to_value),
+            ),
+            (
+                "recorder",
+                self.recorder.clone().unwrap_or(Value::Null),
             ),
         ])
     }
@@ -89,6 +106,7 @@ impl CampaignReport {
             ("scenarios", Value::Num(self.config.scenarios as f64)),
             ("watchdog", Value::Bool(self.config.watchdog)),
             ("retries", Value::Bool(self.config.retries)),
+            ("obs", Value::Bool(self.config.obs)),
             ("clean", Value::Num(self.clean as f64)),
             (
                 "failures",
@@ -120,6 +138,13 @@ pub fn judge(scenario: &Scenario) -> Vec<Violation> {
     oracle::check(&scenario::run_scenario(scenario))
 }
 
+/// Like [`judge`], but streams the run's metrics and flight events
+/// into `obs` for forensics. The verdict is identical to [`judge`]'s:
+/// recording cannot perturb the simulation.
+pub fn judge_obs(scenario: &Scenario, obs: &Obs) -> Vec<Violation> {
+    oracle::check(&scenario::run_scenario_obs(scenario, obs))
+}
+
 /// Runs a full campaign.
 pub fn run(config: CampaignConfig) -> CampaignReport {
     let mut clean = 0u64;
@@ -132,7 +157,14 @@ pub fn run(config: CampaignConfig) -> CampaignReport {
         let mut s = scenario::generate(config.seed, i);
         s.watchdog = config.watchdog;
         s.retries = config.retries;
-        let violations = judge(&s);
+        // One fresh recorder per scenario, so a failure's dump holds
+        // exactly its own run (minimizer re-runs stay uninstrumented).
+        let obs = if config.obs {
+            Obs::recording()
+        } else {
+            Obs::noop()
+        };
+        let violations = judge_obs(&s, &obs);
         if let Some(slot) = family_counts
             .iter_mut()
             .find(|(name, _, _)| *name == s.family)
@@ -151,10 +183,12 @@ pub fn run(config: CampaignConfig) -> CampaignReport {
         } else {
             None
         };
+        let recorder = config.obs.then(|| obs.dump().to_value());
         failures.push(Failure {
             scenario: s,
             violations,
             minimized,
+            recorder,
         });
     }
     CampaignReport {

@@ -15,9 +15,11 @@
 //!   no orphaned rack, bounded over-shed;
 //! - [`campaign`] — the driver: run N seeded scenarios, judge each,
 //!   greedily delta-minimize failures into 1-minimal reproducers, and
-//!   emit a byte-deterministic JSON report;
-//! - [`json`] — the self-contained JSON tree the reports and replay
-//!   files use (the vendored `serde` stand-in is API-only).
+//!   emit a byte-deterministic JSON report with each failure's
+//!   `flex-obs` flight-recorder dump embedded for forensics;
+//! - [`json`] — the JSON tree the reports and replay files use
+//!   (re-exported from `flex_obs::json`; the vendored `serde` stand-in
+//!   is API-only).
 //!
 //! The `flex-chaos` binary fronts all of it: `flex-chaos run` for
 //! campaigns, `flex-chaos replay` to re-run a failure from its JSON.
@@ -30,6 +32,6 @@ pub mod json;
 pub mod oracle;
 pub mod scenario;
 
-pub use campaign::{ab_probe, run, CampaignConfig, CampaignReport, Failure};
+pub use campaign::{ab_probe, judge, judge_obs, run, CampaignConfig, CampaignReport, Failure};
 pub use oracle::Violation;
-pub use scenario::{run_scenario, Scenario};
+pub use scenario::{run_scenario, run_scenario_obs, Scenario};

@@ -20,23 +20,25 @@ fn usage() -> ExitCode {
          \n\
          USAGE:\n\
            flex-chaos run [--seed N] [--scenarios N] [--no-watchdog] [--no-retry]\n\
-                          [--no-minimize] [--ab] [--json PATH]\n\
+                          [--no-minimize] [--no-obs] [--ab] [--json PATH]\n\
            flex-chaos replay --file PATH [--json PATH]\n\
          \n\
          `run` generates N fault-combination scenarios from the seed, drives the\n\
          closed room loop through each, judges every run against the safety oracle\n\
          (no unexcused UPS trip, no orphaned rack, bounded over-shed), and\n\
-         delta-minimizes failures into replayable reproducers. `--ab` disables the\n\
-         hardening features (blackout watchdog, actuation retry) for the campaign\n\
-         and re-judges every failure with them enabled. `replay` re-runs one\n\
-         scenario from a JSON file (a campaign failure's `scenario` or `minimized`\n\
-         object) and reports the verdict."
+         delta-minimizes failures into replayable reproducers. Failing scenarios\n\
+         embed their flex-obs flight-recorder dump unless --no-obs. `--ab`\n\
+         disables the hardening features (blackout watchdog, actuation retry) for\n\
+         the campaign and re-judges every failure with them enabled. `replay`\n\
+         re-runs one scenario from a JSON file (a campaign report, one of its\n\
+         failure entries, or a bare `scenario`/`minimized` object), reports the\n\
+         verdict, and attaches a fresh recorder dump to the JSON output."
     );
     ExitCode::from(2)
 }
 
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
-    const BARE: [&str; 4] = ["no-watchdog", "no-retry", "no-minimize", "ab"];
+    const BARE: [&str; 5] = ["no-watchdog", "no-retry", "no-minimize", "no-obs", "ab"];
     let mut flags = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -84,6 +86,7 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<bool, String> {
         watchdog: !flags.contains_key("no-watchdog"),
         retries: !flags.contains_key("no-retry"),
         minimize: !flags.contains_key("no-minimize"),
+        obs: !flags.contains_key("no-obs"),
     };
     let (report, survived) = if flags.contains_key("ab") {
         let (report, survived) = ab_probe(config);
@@ -134,8 +137,14 @@ fn cmd_replay(flags: &BTreeMap<String, String>) -> Result<bool, String> {
     let path = flags.get("file").ok_or("replay needs --file PATH")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let value = json::parse(&text).map_err(|e| e.to_string())?;
-    // Accept a bare scenario object or a campaign failure entry.
-    let scenario_value = value.get("scenario").unwrap_or(&value);
+    // Accept a bare scenario object, a campaign failure entry, or a
+    // whole campaign report (first failure).
+    let failure_value = value
+        .get("failures")
+        .and_then(|f| f.as_arr())
+        .and_then(|arr| arr.first())
+        .unwrap_or(&value);
+    let scenario_value = failure_value.get("scenario").unwrap_or(failure_value);
     let scenario =
         Scenario::from_value(scenario_value).ok_or("file does not describe a scenario")?;
     println!(
@@ -147,7 +156,8 @@ fn cmd_replay(flags: &BTreeMap<String, String>) -> Result<bool, String> {
         if scenario.watchdog { "on" } else { "off" },
         if scenario.retries { "on" } else { "off" },
     );
-    let violations = campaign::judge(&scenario);
+    let obs = flex_obs::Obs::recording();
+    let violations = campaign::judge_obs(&scenario, &obs);
     if violations.is_empty() {
         println!("verdict: CLEAN (no safety violations)");
     } else {
@@ -156,12 +166,19 @@ fn cmd_replay(flags: &BTreeMap<String, String>) -> Result<bool, String> {
             println!("  [{}] {}", v.kind, v.detail);
         }
     }
+    let dump = obs.dump();
+    println!(
+        "recorder: {} flight events captured ({} dropped)",
+        dump.events.len(),
+        dump.dropped
+    );
     let report = json::obj(vec![
         ("scenario", scenario.to_value()),
         (
             "violations",
             json::Value::Arr(violations.iter().map(|v| v.to_value()).collect()),
         ),
+        ("recorder", dump.to_value()),
     ]);
     emit(flags, &report.to_json())?;
     Ok(violations.is_empty())

@@ -416,6 +416,14 @@ fn worst_failover(seed: u64) -> (usize, f64) {
 
 /// Runs a scenario to its horizon and returns the world for the oracle.
 pub fn run_scenario(scenario: &Scenario) -> RunOutcome {
+    run_scenario_obs(scenario, &flex_obs::Obs::noop())
+}
+
+/// Like [`run_scenario`], but streams the run's metrics, spans, and
+/// flight events into `obs`. Recording never touches RNG streams or
+/// event ordering, so the simulation outcome is bit-identical to the
+/// uninstrumented run — the dump is a pure annotation.
+pub fn run_scenario_obs(scenario: &Scenario, obs: &flex_obs::Obs) -> RunOutcome {
     let placed = place_room(scenario.seed);
     let registry = ImpactRegistry::from_scenario(
         placed.racks().iter().map(|r| (r.deployment, r.category)),
@@ -441,6 +449,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutcome {
         },
         delivery_chaos: scenario.chaos.to_delivery_chaos(),
         seed: scenario.seed,
+        obs: obs.clone(),
         ..RoomSimConfig::default()
     };
     let mut sim = RoomSim::new(&placed, registry, demand, config);

@@ -44,6 +44,8 @@ pub use flex_analysis as analysis;
 pub use flex_emulation as emulation;
 /// Mixed-integer programming (the Gurobi stand-in).
 pub use flex_milp as milp;
+/// Deterministic observability: metrics, spans, flight recorder.
+pub use flex_obs as obs;
 /// Flex-Online: controllers, Algorithm 1, actuation, room simulation.
 pub use flex_online as online;
 /// Flex-Offline: rooms, policies, the placement ILP, metrics.

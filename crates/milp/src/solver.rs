@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use flex_obs::{Counter, Histogram, Obs};
 use parking_lot::{Condvar, Mutex};
 
 use crate::model::{Model, Sense, VarKind};
@@ -214,6 +215,50 @@ struct LpCounters {
     cold_starts: u64,
 }
 
+/// `flex-obs` hooks for the solver: per-relaxation pivot accounting and
+/// warm/cold/failure counters. All noop unless minted from a recording
+/// handle via [`Model::solve_observed`]; the handles are lock-free
+/// atomics, so workers update them without extra synchronization.
+struct MilpHooks {
+    nodes: Counter,
+    warm_starts: Counter,
+    cold_starts: Counter,
+    relaxation_failures: Counter,
+    pivots_per_node: Histogram,
+}
+
+impl MilpHooks {
+    fn noop() -> Self {
+        MilpHooks {
+            nodes: Counter::noop(),
+            warm_starts: Counter::noop(),
+            cold_starts: Counter::noop(),
+            relaxation_failures: Counter::noop(),
+            pivots_per_node: Histogram::noop(),
+        }
+    }
+
+    fn new(obs: &Obs) -> Self {
+        MilpHooks {
+            nodes: obs.counter("milp/nodes"),
+            warm_starts: obs.counter("milp/warm_starts"),
+            cold_starts: obs.counter("milp/cold_starts"),
+            relaxation_failures: obs.counter("milp/relaxation_failures"),
+            pivots_per_node: obs.histogram("milp/pivots_per_node"),
+        }
+    }
+
+    /// One LP relaxation solved: `iters` simplex pivots, warm or cold.
+    fn lp(&self, iters: u64, warmed: bool) {
+        self.pivots_per_node.observe(iters);
+        if warmed {
+            self.warm_starts.inc();
+        } else {
+            self.cold_starts.inc();
+        }
+    }
+}
+
 impl Model {
     /// Solves the model by branch-and-bound.
     ///
@@ -245,11 +290,37 @@ impl Model {
         config: &SolveConfig,
         warm_start: Option<&[f64]>,
     ) -> Result<MilpSolution, MilpError> {
+        self.solve_inner(config, warm_start, &MilpHooks::noop())
+    }
+
+    /// Like [`Model::solve`], but streams per-node LP accounting
+    /// (nodes, warm/cold relaxations, pivots per relaxation, numerical
+    /// failures) into `obs` under the `milp/` metric namespace. The
+    /// search itself is unaffected: hooks never branch on recorded
+    /// state, so an observed solve explores the identical tree.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_observed(
+        &self,
+        config: &SolveConfig,
+        obs: &Obs,
+    ) -> Result<MilpSolution, MilpError> {
+        self.solve_inner(config, None, &MilpHooks::new(obs))
+    }
+
+    fn solve_inner(
+        &self,
+        config: &SolveConfig,
+        warm_start: Option<&[f64]>,
+        hooks: &MilpHooks,
+    ) -> Result<MilpSolution, MilpError> {
         let threads = config.resolved_threads().max(1);
         if threads == 1 && !config.warm_lp {
-            self.solve_sequential(config, warm_start)
+            self.solve_sequential(config, warm_start, hooks)
         } else {
-            self.solve_parallel(config, warm_start, threads)
+            self.solve_parallel(config, warm_start, threads, hooks)
         }
     }
 
@@ -260,6 +331,7 @@ impl Model {
         &self,
         config: &SolveConfig,
         warm_start: Option<&[f64]>,
+        hooks: &MilpHooks,
     ) -> Result<MilpSolution, MilpError> {
         let start = Instant::now();
         // Internal sense: maximize (flip objective for minimize models).
@@ -282,6 +354,8 @@ impl Model {
         let (root_obj, root_vals, root_iters) = solve_relaxation_counted(self, &root_bounds)?;
         counters.lp_iterations += root_iters;
         counters.cold_starts += 1;
+        hooks.nodes.inc();
+        hooks.lp(root_iters, false);
         let mut nodes_explored: u64 = 1;
         let finish = |status: SolveStatus,
                       obj: f64,
@@ -342,7 +416,7 @@ impl Model {
         let vals = rounded(&root_vals, &int_vars);
         consider(&vals, &mut incumbent);
         let deadline = start + config.time_limit;
-        if let Some(dived) = self.dive(&root_bounds, &int_vars, deadline, &mut counters) {
+        if let Some(dived) = self.dive(&root_bounds, &int_vars, deadline, &mut counters, hooks) {
             consider(&dived, &mut incumbent);
         }
 
@@ -391,12 +465,14 @@ impl Model {
                 Ok((obj, vals, iters)) => {
                     counters.lp_iterations += iters;
                     counters.cold_starts += 1;
+                    hooks.lp(iters, false);
                     (obj, vals)
                 }
                 Err(MilpError::Infeasible) => continue,
                 Err(e) => return Err(e),
             };
             nodes_explored += 1;
+            hooks.nodes.inc();
             let node_bound = internal(obj);
             if let Some((inc_obj, _)) = &incumbent {
                 if node_bound <= *inc_obj + config.relative_gap * inc_obj.abs().max(1.0) {
@@ -427,7 +503,7 @@ impl Model {
                     // keep it occasional).
                     if nodes_explored % 128 == 0 {
                         if let Some(dived) =
-                            self.dive(&node.bounds, &int_vars, deadline, &mut counters)
+                            self.dive(&node.bounds, &int_vars, deadline, &mut counters, hooks)
                         {
                             consider(&dived, &mut incumbent);
                         }
@@ -495,6 +571,7 @@ impl Model {
         int_vars: &[usize],
         deadline: Instant,
         counters: &mut LpCounters,
+        hooks: &MilpHooks,
     ) -> Option<Vec<f64>> {
         let mut b = bounds.to_vec();
         // Each round fixes a *batch* of near-integral variables (plus at
@@ -508,6 +585,7 @@ impl Model {
                 Ok((obj, vals, iters)) => {
                     counters.lp_iterations += iters;
                     counters.cold_starts += 1;
+                    hooks.lp(iters, false);
                     (obj, vals)
                 }
                 Err(_) => return None, // infeasible dive: give up
@@ -585,6 +663,7 @@ struct Shared<'a> {
     warm_starts: AtomicU64,
     cold_starts: AtomicU64,
     relaxation_failures: AtomicU64,
+    hooks: &'a MilpHooks,
 }
 
 impl Shared<'_> {
@@ -650,6 +729,7 @@ impl Shared<'_> {
         } else {
             self.cold_starts.fetch_add(1, AtomicOrdering::Relaxed);
         }
+        self.hooks.lp(relax.iterations, relax.warmed);
         Some(relax)
     }
 
@@ -805,6 +885,7 @@ impl Shared<'_> {
                     // hole so the final status/bound stay honest.
                     self.relaxation_failures
                         .fetch_add(1, AtomicOrdering::Relaxed);
+                    self.hooks.relaxation_failures.inc();
                     let mut fb = self.failed_bound.lock();
                     *fb = fb.max(node.bound);
                     drop(fb);
@@ -819,7 +900,9 @@ impl Shared<'_> {
             } else {
                 self.cold_starts.fetch_add(1, AtomicOrdering::Relaxed);
             }
+            self.hooks.lp(relax.iterations, relax.warmed);
             let explored = self.nodes_explored.fetch_add(1, AtomicOrdering::Relaxed) + 1;
+            self.hooks.nodes.inc();
 
             let node_bound = self.internal(relax.objective);
             if let Some(inc) = self.incumbent_objective() {
@@ -915,6 +998,7 @@ impl Model {
         config: &SolveConfig,
         warm_start: Option<&[f64]>,
         threads: usize,
+        hooks: &MilpHooks,
     ) -> Result<MilpSolution, MilpError> {
         let start = Instant::now();
         let internal = |obj: f64| match self.sense {
@@ -936,6 +1020,8 @@ impl Model {
         // Root relaxation failures abort the solve, exactly like the
         // sequential engine — there is no tree to fall back on yet.
         let root = ctx.solve_relaxation(&root_bounds, None)?;
+        hooks.nodes.inc();
+        hooks.lp(root.iterations, root.warmed);
 
         let shared = Shared {
             model: self,
@@ -959,6 +1045,7 @@ impl Model {
             warm_starts: AtomicU64::new(0),
             cold_starts: AtomicU64::new(1),
             relaxation_failures: AtomicU64::new(0),
+            hooks,
         };
 
         if let Some(ws) = warm_start {
@@ -1113,6 +1200,54 @@ mod tests {
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert!((sol.objective - 220.0).abs() < 1e-6);
         assert!(!sol.is_one(a) && sol.is_one(b) && sol.is_one(c));
+    }
+
+    #[test]
+    fn observed_solve_matches_and_records() {
+        let build = || {
+            let mut m = Model::new(Sense::Maximize);
+            let a = m.add_binary("a", 60.0);
+            let b = m.add_binary("b", 100.0);
+            let c = m.add_binary("c", 120.0);
+            m.add_constraint(
+                "cap",
+                vec![(a, 10.0), (b, 20.0), (c, 30.0)],
+                Relation::Le,
+                50.0,
+            )
+            .unwrap();
+            m
+        };
+        // One thread keeps node processing deterministic, so plain and
+        // observed runs are comparable tree for tree.
+        let config = SolveConfig {
+            threads: 1,
+            ..SolveConfig::default()
+        };
+        let plain = build().solve(&config).unwrap();
+        let obs = Obs::recording();
+        let observed = build().solve_observed(&config, &obs).unwrap();
+        // Hooks never branch the search: identical solution and tree.
+        assert_eq!(observed.status, plain.status);
+        assert!((observed.objective - plain.objective).abs() < 1e-9);
+        assert_eq!(observed.values, plain.values);
+        assert_eq!(observed.nodes_explored, plain.nodes_explored);
+        // The hooks mirrored the solution's own accounting.
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counters.get("milp/nodes").copied(),
+            Some(plain.nodes_explored)
+        );
+        assert_eq!(
+            snap.counters.get("milp/warm_starts").copied().unwrap_or(0)
+                + snap.counters.get("milp/cold_starts").copied().unwrap_or(0),
+            plain.warm_starts + plain.cold_starts
+        );
+        let pivots = snap
+            .histograms
+            .get("milp/pivots_per_node")
+            .expect("pivot histogram registered");
+        assert_eq!(pivots.sum, plain.lp_iterations);
     }
 
     #[test]

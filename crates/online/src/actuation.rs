@@ -6,6 +6,7 @@
 //! production for a 10 MW room), RMs can be unreachable, and repeated
 //! commands must be idempotent.
 
+use flex_obs::{Counter, FlightEvent, Obs, Span};
 use flex_placement::RackId;
 use flex_sim::dist::{LogNormal, Sample};
 use flex_sim::fault::{names as fault_names, FaultPlan};
@@ -109,6 +110,11 @@ pub struct Actuator {
     rm_names: Vec<String>,
     /// Latency from submission to enforcement for accepted commands.
     pub command_latency: Percentiles,
+    /// Observability (noop unless attached).
+    obs: Obs,
+    submissions: Counter,
+    rejections: Counter,
+    submit_to_apply: Span,
 }
 
 impl Actuator {
@@ -122,8 +128,26 @@ impl Actuator {
             last_apply: vec![SimTime::ZERO; rack_count],
             rm_names: (0..rack_count).map(fault_names::rack_manager).collect(),
             command_latency: Percentiles::new(),
+            obs: Obs::noop(),
+            submissions: Counter::noop(),
+            rejections: Counter::noop(),
+            submit_to_apply: Span::noop(),
             config,
         }
+    }
+
+    /// Attaches observability. `actuation/submissions` counts accepted
+    /// submissions, `actuation/rejections` unreachable-RM rejections,
+    /// and `span/actuate/submit_to_apply` histograms the enforcement
+    /// latency the actuator just sampled — the last leg of the
+    /// detect-to-shed budget. Recording happens after the latency RNG
+    /// draw and never feeds back into scheduling, so an instrumented
+    /// actuator applies commands at bit-identical times.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.submissions = obs.counter("actuation/submissions");
+        self.rejections = obs.counter("actuation/rejections");
+        self.submit_to_apply = obs.span("span/actuate/submit_to_apply");
     }
 
     /// The actuator's configuration.
@@ -183,6 +207,7 @@ impl Actuator {
         // Foreign rack ids have no precomputed RM name and are rejected.
         let rm = self.rm_names.get(rack.0)?;
         if !self.faults.is_up(rm, now) {
+            self.rejections.inc();
             return None;
         }
         let latency_ms = self.latency.sample(&mut self.rng);
@@ -193,6 +218,13 @@ impl Actuator {
         *last = apply_at;
         self.command_latency
             .record((apply_at - now).as_secs_f64());
+        self.submissions.inc();
+        self.submit_to_apply.record_between(now, apply_at);
+        self.obs.record_with(now, || FlightEvent::CommandSubmitted {
+            rack: rack.0 as u32,
+            state: state_code(new_state),
+            apply_at_ns: apply_at.as_nanos(),
+        });
         Some(PendingCommand {
             rack,
             new_state,
@@ -222,6 +254,16 @@ impl Actuator {
             RackPowerState::Throttled => demand.min(flex_power),
             RackPowerState::Off => flex_power::Watts::ZERO,
         }
+    }
+}
+
+/// The flight-recorder wire code for a rack power state
+/// (0 = normal, 1 = throttled, 2 = off).
+pub fn state_code(state: RackPowerState) -> u8 {
+    match state {
+        RackPowerState::Normal => 0,
+        RackPowerState::Throttled => 1,
+        RackPowerState::Off => 2,
     }
 }
 

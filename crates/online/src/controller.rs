@@ -7,6 +7,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use flex_obs::{Counter, FlightEvent, Obs};
 use flex_placement::{PlacedRack, RackId};
 use flex_power::{Topology, Watts};
 use flex_sim::{SimDuration, SimTime};
@@ -112,6 +113,13 @@ pub struct Controller {
     /// The watchdog fired for the current dark period; re-armed by
     /// fresh UPS data.
     watchdog_fired: bool,
+    /// Observability (noop unless attached): the recorder receives the
+    /// ingest/watchdog state transitions that `flex_online::replay`
+    /// feeds back to reconstruct this instance's decisions.
+    obs: Obs,
+    readings_accepted: Counter,
+    readings_stale: Counter,
+    watchdog_fires: Counter,
 }
 
 impl Controller {
@@ -141,7 +149,24 @@ impl Controller {
             failover_known: None,
             alarmed: BTreeSet::new(),
             watchdog_fired: false,
+            obs: Obs::noop(),
+            readings_accepted: Counter::noop(),
+            readings_stale: Counter::noop(),
+            watchdog_fires: Counter::noop(),
         }
+    }
+
+    /// Attaches observability. Counters: `online/readings_accepted`,
+    /// `online/readings_stale`, `online/watchdog_fires`. Recorder events
+    /// cover telemetry ingest outcomes, alarms, and watchdog ticks —
+    /// exactly the inputs `flex_online::replay` needs to re-drive the
+    /// decision sequence. Recording never branches the decision logic,
+    /// so attached and detached instances emit identical commands.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.readings_accepted = obs.counter("online/readings_accepted");
+        self.readings_stale = obs.counter("online/readings_stale");
+        self.watchdog_fires = obs.counter("online/watchdog_fires");
     }
 
     /// The instance id.
@@ -199,9 +224,19 @@ impl Controller {
                         }
                     }
                 }
+                // Staleness, like acceptance, is counted but not
+                // ring-recorded: both are re-derivable from the
+                // delivery stream itself (a replayed controller makes
+                // the same accept/ignore call), and duplicate-heavy
+                // chaos would otherwise flood the ring.
                 if !accepted {
+                    self.readings_stale.inc();
                     return Ok(Vec::new());
                 }
+                // Acceptance is the normal case: count it, but keep the
+                // flight ring for anomalies (stale deliveries get an
+                // event; accepted ones are implied by their delivery).
+                self.readings_accepted.inc();
                 if now.saturating_since(measured_at) <= self.config.staleness_limit {
                     self.last_ups_data = Some(match self.last_ups_data {
                         Some(t) => t.max(measured_at),
@@ -229,6 +264,10 @@ impl Controller {
     /// out-of-band signal, independent of the metering pipeline). Arms
     /// the blackout watchdog.
     pub fn on_failover_alarm(&mut self, now: SimTime, ups: flex_power::UpsId) {
+        self.obs.record(now, FlightEvent::FailoverAlarm {
+            controller: self.id as u32,
+            ups: ups.0 as u32,
+        });
         self.alarmed.insert(ups);
         self.failover_known.get_or_insert(now);
     }
@@ -236,7 +275,11 @@ impl Controller {
     /// Notifies this instance that a previously alarmed UPS is back in
     /// service. When no alarms remain the failover is no longer "known";
     /// a still-ongoing overdraw will re-arm it via telemetry.
-    pub fn on_ups_restored(&mut self, _now: SimTime, ups: flex_power::UpsId) {
+    pub fn on_ups_restored(&mut self, now: SimTime, ups: flex_power::UpsId) {
+        self.obs.record(now, FlightEvent::AlarmCleared {
+            controller: self.id as u32,
+            ups: ups.0 as u32,
+        });
         self.alarmed.remove(&ups);
         if self.alarmed.is_empty() {
             self.failover_known = None;
@@ -271,7 +314,18 @@ impl Controller {
         if now.saturating_since(dark_since) < self.config.blackout_deadline {
             return Ok(Vec::new());
         }
+        // Recorded only for the tick that fires: unarmed ticks and
+        // armed ticks short of the blackout deadline are provably
+        // no-ops (they mutate nothing and issue nothing), so replay
+        // reproduces the decision sequence from firing ticks alone.
+        self.obs.record(now, FlightEvent::WatchdogTick {
+            controller: self.id as u32,
+        });
         self.watchdog_fired = true;
+        self.watchdog_fires.inc();
+        self.obs.record(now, FlightEvent::WatchdogFired {
+            controller: self.id as u32,
+        });
         // Worst-case synthetic view of the room.
         let ups_power: Vec<Watts> = self
             .topology
@@ -320,7 +374,7 @@ impl Controller {
         // (conservative for recovery estimation).
         self.racks
             .iter()
-            .map(|r| match self.rack_power[r.id.0] {
+            .map(|r| match self.rack_power.get(r.id.0).copied().flatten() {
                 Some((_, w)) => w,
                 None => r.provisioned,
             })
@@ -338,13 +392,17 @@ impl Controller {
         let mut ups_power = raw_ups_power.clone();
         for (_, _, shares) in &self.recent {
             for &(u, w) in shares {
-                ups_power[u.0] = (ups_power[u.0] - w).clamp_non_negative();
+                if let Some(slot) = ups_power.get_mut(u.0) {
+                    *slot = (*slot - w).clamp_non_negative();
+                }
             }
         }
         // Overdraw check against limit − buffer.
         let over = self.topology.upses().iter().any(|u| {
             let limit = u.capacity() * (1.0 - self.config.policy.buffer_fraction);
-            ups_power[u.id().0].exceeds(limit)
+            ups_power
+                .get(u.id().0)
+                .is_some_and(|p| p.exceeds(limit))
         });
         if over {
             self.healthy_since = None;
@@ -358,13 +416,18 @@ impl Controller {
         if !self.engaged {
             return Ok(Vec::new());
         }
+        // A slot missing from the view (cannot happen: both are sized
+        // from the topology) reads as "not healthy", the conservative
+        // side for restoration.
         let all_in_service = self.topology.upses().iter().all(|u| {
-            ups_power[u.id().0]
-                > u.capacity() * self.config.policy.failed_threshold_fraction
+            ups_power
+                .get(u.id().0)
+                .is_some_and(|p| *p > u.capacity() * self.config.policy.failed_threshold_fraction)
         });
         let all_below_restore = self.topology.upses().iter().all(|u| {
-            !ups_power[u.id().0]
-                .exceeds(u.capacity() * self.config.restore_threshold_fraction)
+            ups_power
+                .get(u.id().0)
+                .is_some_and(|p| !p.exceeds(u.capacity() * self.config.restore_threshold_fraction))
         });
         if all_in_service && all_below_restore {
             let since = *self.healthy_since.get_or_insert(now);
@@ -396,17 +459,23 @@ impl Controller {
             let online =
                 crate::policy::infer_online(&self.topology, &ups_power, &self.config.policy);
             let rack_power = self.rack_powers();
-            let mut best: Option<(RackId, Watts)> = None;
+            let mut best = None;
             for (&rack, &kind) in &self.action_log {
                 // Never lift an action that may still be in flight —
                 // telemetry has not yet confirmed its effect.
                 if self.recent.iter().any(|(_, r, _)| *r == rack) {
                     continue;
                 }
-                let r = &self.racks[rack.0];
+                let Some(r) = self.racks.get(rack.0) else {
+                    continue;
+                };
                 // Power that returns if this action is lifted.
                 let returned = match kind {
-                    ActionKind::Shutdown => rack_power[rack.0].min(r.provisioned),
+                    ActionKind::Shutdown => rack_power
+                        .get(rack.0)
+                        .copied()
+                        .unwrap_or(r.provisioned)
+                        .min(r.provisioned),
                     ActionKind::Throttle => {
                         (r.provisioned - r.flex_power).clamp_non_negative() * 0.5
                     }
@@ -422,7 +491,9 @@ impl Controller {
                     self.topology.ups(u).is_ok_and(|ups| {
                         let limit =
                             ups.capacity() * (1.0 - 2.0 * self.config.policy.buffer_fraction);
-                        !(ups_power[u.0] + w).exceeds(limit)
+                        ups_power
+                            .get(u.0)
+                            .is_some_and(|p| !(*p + w).exceeds(limit))
                     })
                 });
                 if safe {
@@ -430,23 +501,23 @@ impl Controller {
                     // power (cheapest to re-take if load climbs back);
                     // ties break by rack id.
                     let better = match best {
-                        Some((br, bw)) => {
+                        Some((br, bw, _)) => {
                             returned < bw || (returned.approx_eq(bw, 1e-9) && rack < br)
                         }
                         None => true,
                     };
                     if better {
-                        best = Some((rack, returned));
+                        best = Some((rack, returned, r.pdu_pair));
                     }
                 }
             }
-            if let Some((rack, returned)) = best {
+            if let Some((rack, returned, pair)) = best {
                 self.action_log.remove(&rack);
                 // Account for the returning load in the reflect window
                 // (negative recovery = added power).
                 let shares: Vec<(flex_power::UpsId, Watts)> = crate::policy::recovery_shares(
                     &self.topology,
-                    self.racks[rack.0].pdu_pair,
+                    pair,
                     &crate::policy::infer_online(&self.topology, &ups_power, &self.config.policy),
                     returned,
                 )?
@@ -482,8 +553,12 @@ impl Controller {
         let online = crate::policy::infer_online(&self.topology, ups_power, &self.config.policy);
         let mut commands = Vec::with_capacity(outcome.actions.len());
         for action in outcome.actions {
+            // Policy actions always name racks from `self.racks`; a
+            // stray id simply yields no recovery projection.
+            let Some(pair) = self.racks.get(action.rack.0).map(|r| r.pdu_pair) else {
+                continue;
+            };
             self.action_log.insert(action.rack, action.kind);
-            let pair = self.racks[action.rack.0].pdu_pair;
             let shares = crate::policy::recovery_shares(
                 &self.topology,
                 pair,

@@ -19,6 +19,8 @@
 //!   unreachability, idempotent command application;
 //! - [`prober::Prober`] — the background firmware/reachability monitor
 //!   from the production-lessons section (VI);
+//! - [`replay`] — standalone reconstruction of a controller's decision
+//!   sequence from a `flex-obs` flight-recorder dump;
 //! - [`sim`] — the integrated discrete-event room simulation that wires
 //!   placement, telemetry, controllers, actuation, and the UPS overload
 //!   accumulators together (the engine behind the Figure 13 end-to-end
@@ -33,9 +35,10 @@ mod error;
 mod impact_registry;
 pub mod policy;
 pub mod prober;
+pub mod replay;
 pub mod sim;
 
-pub use actuation::{Actuator, ActuatorConfig, RackPowerState};
+pub use actuation::{state_code, Actuator, ActuatorConfig, RackPowerState};
 pub use controller::{Command, Controller, ControllerConfig};
 pub use error::OnlineError;
 pub use impact_registry::ImpactRegistry;

@@ -144,7 +144,11 @@ pub(crate) fn infer_online(
     let mut online: Vec<bool> = topology
         .upses()
         .iter()
-        .map(|u| ups_power[u.id().0] > u.capacity() * config.failed_threshold_fraction)
+        .map(|u| {
+            ups_power
+                .get(u.id().0)
+                .is_some_and(|p| *p > u.capacity() * config.failed_threshold_fraction)
+        })
         .collect();
     if online.iter().all(|&b| !b) {
         online.iter_mut().for_each(|b| *b = true);
@@ -169,7 +173,11 @@ pub(crate) fn recovery_shares(
         .pdu_pair(pair)
         .map_err(|_| OnlineError::UnknownPduPair(pair))?
         .upstream();
-    Ok(match (online[a.0], online[b.0]) {
+    // A feed absent from the inferred view reads as offline, which
+    // routes the recovery to the other side (or drops it) — the same
+    // conservative outcome as a genuinely failed UPS.
+    let on = |u: UpsId| online.get(u.0).copied().unwrap_or(false);
+    Ok(match (on(a), on(b)) {
         (true, true) => vec![(a, recovery * 0.5), (b, recovery * 0.5)],
         (true, false) => vec![(a, recovery)],
         (false, true) => vec![(b, recovery)],
@@ -227,13 +235,14 @@ pub fn decide(
     let mut acted: BTreeMap<RackId, ActionKind> = prior_actions.clone();
     let mut actions: Vec<Action> = Vec::new();
 
+    let is_online = |u: UpsId| online.get(u.0).copied().unwrap_or(false);
     let over_limit = |p: &[Watts]| -> Vec<UpsId> {
         topo.upses()
             .iter()
-            .filter(|u| online[u.id().0])
+            .filter(|u| is_online(u.id()))
             .filter(|u| {
                 let limit = u.capacity() * (1.0 - config.buffer_fraction);
-                p[u.id().0].exceeds(limit)
+                p.get(u.id().0).is_some_and(|w| w.exceeds(limit))
             })
             .map(|u| u.id())
             .collect()
@@ -252,6 +261,7 @@ pub fn decide(
         // One candidate per workload: its highest-recovery eligible rack.
         struct Candidate {
             rack: RackId,
+            deployment: DeploymentId,
             kind: ActionKind,
             recovery: Watts,
             shares: Vec<(UpsId, Watts)>,
@@ -263,7 +273,9 @@ pub fn decide(
             if !rack.category.is_actionable() || acted.contains_key(&rack.id) {
                 continue;
             }
-            let draw = input.rack_power[rack.id.0];
+            let Some(draw) = input.rack_power.get(rack.id.0).copied() else {
+                continue;
+            };
             let recovery = match rack.category {
                 WorkloadCategory::SoftwareRedundant => draw,
                 WorkloadCategory::CapAble => (draw - rack.flex_power).clamp_non_negative(),
@@ -290,7 +302,9 @@ pub fn decide(
             }
         }
         for (&deployment, &(rack_id, recovery)) in &best_per_workload {
-            let rack = &input.racks[rack_id.0];
+            let Some(rack) = input.racks.get(rack_id.0) else {
+                continue;
+            };
             let kind = if rack.category == WorkloadCategory::SoftwareRedundant {
                 ActionKind::Shutdown
             } else {
@@ -301,6 +315,7 @@ pub fn decide(
             let impact = registry.impact(deployment, rack.category, done + 1, total);
             candidates.push(Candidate {
                 rack: rack_id,
+                deployment,
                 kind,
                 recovery,
                 shares: recovery_shares(topo, rack.pdu_pair, &online, recovery)?,
@@ -314,8 +329,12 @@ pub fn decide(
             let hard_safe = topo
                 .upses()
                 .iter()
-                .filter(|u| online[u.id().0])
-                .all(|u| !projected[u.id().0].exceeds(u.capacity()));
+                .filter(|u| is_online(u.id()))
+                .all(|u| {
+                    projected
+                        .get(u.id().0)
+                        .is_some_and(|p| !p.exceeds(u.capacity()))
+                });
             return Ok(DecisionOutcome {
                 actions,
                 safe: hard_safe,
@@ -351,10 +370,11 @@ pub fn decide(
         };
 
         for &(u, w) in &chosen.shares {
-            projected[u.0] = (projected[u.0] - w).clamp_non_negative();
+            if let Some(slot) = projected.get_mut(u.0) {
+                *slot = (*slot - w).clamp_non_negative();
+            }
         }
-        let deployment = input.racks[chosen.rack.0].deployment;
-        *affected.entry(deployment).or_insert(0) += 1;
+        *affected.entry(chosen.deployment).or_insert(0) += 1;
         acted.insert(chosen.rack, chosen.kind);
         actions.push(Action {
             rack: chosen.rack,

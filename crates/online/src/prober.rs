@@ -51,13 +51,12 @@ impl Prober {
     }
 
     /// Records a firmware downgrade/regression on one RM (e.g. a server
-    /// replaced after repair with stale firmware).
-    ///
-    /// # Panics
-    ///
-    /// Panics on a foreign rack id.
+    /// replaced after repair with stale firmware). A foreign rack id is
+    /// ignored.
     pub fn set_firmware(&mut self, rack: RackId, version: u32) {
-        self.firmware[rack.0] = version;
+        if let Some(slot) = self.firmware.get_mut(rack.0) {
+            *slot = version;
+        }
     }
 
     /// Raises the fleet-wide required firmware version.
@@ -66,13 +65,11 @@ impl Prober {
     }
 
     /// Re-flashes an RM to the required version (the remediation the
-    /// report triggers).
-    ///
-    /// # Panics
-    ///
-    /// Panics on a foreign rack id.
+    /// report triggers). A foreign rack id is ignored.
     pub fn redeploy_firmware(&mut self, rack: RackId) {
-        self.firmware[rack.0] = self.required_firmware;
+        if let Some(slot) = self.firmware.get_mut(rack.0) {
+            *slot = self.required_firmware;
+        }
     }
 
     /// Runs one probe sweep: reachability (per the fault plan's

@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use flex_obs::{Counter, FlightEvent, Gauge, Obs, Span};
 use flex_placement::{PlacedRack, PlacedRoom, RackId};
 use flex_power::meter::GroundTruth;
 use flex_power::trip_curve::{OverloadAccumulator, TripCurve};
@@ -19,7 +20,7 @@ use flex_sim::fault::{names as fault_names, FaultPlan};
 use flex_sim::rng::RngPool;
 use flex_sim::stats::{Percentiles, TimeSeries};
 use flex_sim::{Ctx, Sim, SimDuration, SimTime};
-use flex_telemetry::{Delivery, Pipeline, PipelineConfig};
+use flex_telemetry::{Delivery, Pipeline, PipelineConfig, TelemetryPayload};
 use rand::rngs::SmallRng;
 
 use crate::{
@@ -86,6 +87,12 @@ pub struct RoomSimConfig {
     pub delivery_chaos: DeliveryChaos,
     /// Root seed for all stochastic components.
     pub seed: u64,
+    /// Observability: metrics, spans, and the flight recorder are wired
+    /// through the whole control path when this handle records. The
+    /// default noop handle costs one `None` check per site, and
+    /// recording never touches RNG streams or scheduling, so outcomes
+    /// are bit-identical either way.
+    pub obs: Obs,
 }
 
 impl Default for RoomSimConfig {
@@ -104,6 +111,7 @@ impl Default for RoomSimConfig {
             alarm_latency: SimDuration::from_millis(200),
             delivery_chaos: DeliveryChaos::off(),
             seed: 0xF1EC,
+            obs: Obs::noop(),
         }
     }
 }
@@ -179,6 +187,36 @@ impl RoomStats {
     }
 }
 
+/// The world's own observability instruments (all noop unless the
+/// config carried a recording [`Obs`]).
+struct SimObs {
+    obs: Obs,
+    commands_issued: Counter,
+    retries: Counter,
+    enforcement_drops: Counter,
+    applies: Counter,
+    /// Scripted failure → first corrective command, per episode.
+    detect: Span,
+    /// Per-UPS remaining trip-budget margin (index = UPS id).
+    trip_margin: Vec<Gauge>,
+}
+
+impl SimObs {
+    fn new(obs: Obs, ups_count: usize) -> Self {
+        SimObs {
+            commands_issued: obs.counter("online/commands_issued"),
+            retries: obs.counter("actuation/retries"),
+            enforcement_drops: obs.counter("actuation/enforcement_drops"),
+            applies: obs.counter("actuation/applies"),
+            detect: obs.span("span/detect/failure_to_first_command"),
+            trip_margin: (0..ups_count)
+                .map(|i| obs.gauge(&format!("power/trip_margin/ups{i}")))
+                .collect(),
+            obs,
+        }
+    }
+}
+
 /// The simulation world.
 pub struct RoomWorld {
     topo: Topology,
@@ -212,6 +250,8 @@ pub struct RoomWorld {
     /// this to distinguish "rack Off with an owner still working on it"
     /// from an orphaned rack.
     inflight: BTreeMap<RackId, usize>,
+    /// Observability instruments.
+    sim_obs: SimObs,
     /// Statistics.
     pub stats: RoomStats,
 }
@@ -231,8 +271,11 @@ impl RoomWorld {
                 if self.feed.pair_feed(pair) == flex_power::PairFeed::Dead {
                     return Watts::ZERO;
                 }
-                self.actuator
-                    .effective_power(r.id, self.demand[r.id.0], r.flex_power)
+                // A rack id always indexes `demand` (both are built from
+                // the same placement), but degrade to zero rather than
+                // panic mid-event-loop (lint rule P1).
+                let demand = self.demand.get(r.id.0).copied().unwrap_or(Watts::ZERO);
+                self.actuator.effective_power(r.id, demand, r.flex_power)
             })
             .collect()
     }
@@ -265,8 +308,15 @@ impl RoomWorld {
     }
 
     fn resample_demand(&mut self, now: SimTime) {
-        for i in 0..self.racks.len() {
-            self.demand[i] = (self.demand_fn)(&self.racks[i], now, &mut self.rng);
+        let RoomWorld {
+            demand,
+            demand_fn,
+            racks,
+            rng,
+            ..
+        } = self;
+        for (slot, rack) in demand.iter_mut().zip(racks.iter()) {
+            *slot = demand_fn(rack, now, rng);
         }
     }
 
@@ -301,6 +351,7 @@ impl RoomWorld {
                 self.stats
                     .detection_latency
                     .push(now.saturating_since(failed_at));
+                self.sim_obs.detect.record_between(failed_at, now);
                 self.stats
                     .events
                     .push((now, SimEvent::FirstCommand { controller: controller_idx }));
@@ -310,6 +361,16 @@ impl RoomWorld {
             let rack = match cmd {
                 Command::Act { rack, .. } | Command::Restore { rack } => rack,
             };
+            self.sim_obs.commands_issued.inc();
+            self.sim_obs.obs.record_with(now, || FlightEvent::CommandIssued {
+                controller: controller_idx as u32,
+                rack: rack.0 as u32,
+                action: match cmd {
+                    Command::Act { kind: crate::policy::ActionKind::Shutdown, .. } => 0,
+                    Command::Act { kind: crate::policy::ActionKind::Throttle, .. } => 1,
+                    Command::Restore { .. } => 2,
+                },
+            });
             // A new command for this (controller, rack) supersedes any
             // retry chain still backing off for it.
             let gen = {
@@ -350,6 +411,13 @@ impl RoomWorld {
                 ctx.schedule_at(p.apply_at, move |w: &mut RoomWorld, _| {
                     w.actuator.apply(&p);
                     w.bump_inflight(p.rack, -1);
+                    w.sim_obs.applies.inc();
+                    w.sim_obs.obs.record_with(p.apply_at, || {
+                        FlightEvent::CommandApplied {
+                            rack: p.rack.0 as u32,
+                            state: crate::actuation::state_code(p.new_state),
+                        }
+                    });
                     w.stats.events.push((
                         p.apply_at,
                         SimEvent::Applied {
@@ -361,6 +429,11 @@ impl RoomWorld {
             }
             None if attempt <= self.actuator.config().max_retries => {
                 let backoff = self.actuator.config().retry_backoff(attempt);
+                self.sim_obs.retries.inc();
+                self.sim_obs.obs.record_with(now, || FlightEvent::CommandRetried {
+                    rack: rack.0 as u32,
+                    attempt,
+                });
                 self.stats
                     .events
                     .push((now, SimEvent::RetryScheduled { rack, attempt }));
@@ -376,6 +449,13 @@ impl RoomWorld {
                 });
             }
             None => {
+                self.sim_obs.enforcement_drops.inc();
+                self.sim_obs.obs.record_with(now, || {
+                    FlightEvent::EnforcementDropped {
+                        controller: controller_idx as u32,
+                        rack: rack.0 as u32,
+                    }
+                });
                 self.stats
                     .events
                     .push((now, SimEvent::EnforcementDropped { rack }));
@@ -425,10 +505,36 @@ fn dispatch_delivery(w: &mut RoomWorld, ctx: &mut Ctx<RoomWorld>, d: &Delivery) 
         let payload = d.payload.clone();
         let measured_at = d.measured_at;
         ctx.schedule_at(arrive, move |w: &mut RoomWorld, ctx| {
+            // A crashed instance processes nothing; an erroring one
+            // contributes no commands. The other primaries cover.
+            // The mask caps the room at 32 instances — far above any
+            // realistic multi-primary count (the paper runs 3).
+            let up_mask = (0..w.controllers.len().min(32))
+                .filter(|&i| w.controller_up(i, arrive))
+                .fold(0u32, |m, i| m | (1 << i));
+            if up_mask == 0 {
+                return;
+            }
+            // The recorded delivery carries the controllers' full input
+            // (receiver mask + readings + measurement time), so a dump
+            // can be replayed through `flex_online::replay` to
+            // reproduce the decision sequence without re-running the
+            // room. One event covers all receivers: they see the same
+            // payload at the same instant.
+            w.sim_obs.obs.record_with(arrive, || match &payload {
+                TelemetryPayload::UpsSnapshot(snap) => FlightEvent::UpsDelivery {
+                    controllers: up_mask,
+                    measured_at_ns: measured_at.as_nanos(),
+                    readings: snap.iter().map(|&(u, p)| (u.0 as u32, p.as_w())).collect(),
+                },
+                TelemetryPayload::RackSnapshot(snap) => FlightEvent::RackDelivery {
+                    controllers: up_mask,
+                    measured_at_ns: measured_at.as_nanos(),
+                    readings: snap.iter().map(|&(r, p)| (r as u32, p.as_w())).collect(),
+                },
+            });
             for i in 0..w.controllers.len() {
-                // A crashed instance processes nothing; an erroring one
-                // contributes no commands. The other primaries cover.
-                if !w.controller_up(i, arrive) {
+                if up_mask & (1 << i) == 0 {
                     continue;
                 }
                 let commands = match w.controllers.get_mut(i) {
@@ -459,19 +565,25 @@ impl RoomSim {
         let topo = placed.room().topology().clone();
         let racks = placed.racks().to_vec();
         let pool = RngPool::new(config.seed);
-        let pipeline = Pipeline::new(config.pipeline.clone(), topo.ups_count(), racks.len(), &pool);
+        let mut pipeline =
+            Pipeline::new(config.pipeline.clone(), topo.ups_count(), racks.len(), &pool);
+        pipeline.set_obs(&config.obs);
         let controllers = (0..config.controllers)
             .map(|i| {
-                Controller::new(
+                let mut c = Controller::new(
                     i,
                     topo.clone(),
                     racks.clone(),
                     registry.clone(),
                     config.controller,
-                )
+                );
+                c.set_obs(&config.obs);
+                c
             })
             .collect();
-        let actuator = Actuator::new(racks.len(), config.actuator, &pool);
+        let mut actuator = Actuator::new(racks.len(), config.actuator, &pool);
+        actuator.set_obs(&config.obs);
+        let sim_obs = SimObs::new(config.obs.clone(), topo.ups_count());
         let accumulators = (0..topo.ups_count())
             .map(|_| OverloadAccumulator::new(config.trip_curve.clone(), config.damage_recovery_secs))
             .collect();
@@ -504,6 +616,7 @@ impl RoomSim {
             delivery_seq: 0,
             retry_gen: BTreeMap::new(),
             inflight: BTreeMap::new(),
+            sim_obs,
             stats,
         };
         let mut sim = Sim::new(world);
@@ -572,7 +685,25 @@ impl RoomSim {
                         continue;
                     }
                     let fraction = loads.load(id) / u.capacity();
-                    if w.accumulators[id.0].advance(dt, fraction) {
+                    // Accumulators are sized from this topology; degrade
+                    // to "no trip" rather than panic mid-event-loop.
+                    let Some(acc) = w.accumulators.get_mut(id.0) else {
+                        continue;
+                    };
+                    let tripped_now = acc.advance(dt, fraction);
+                    let damage = acc.damage();
+                    if let Some(g) = w.sim_obs.trip_margin.get(id.0) {
+                        g.set(acc.margin());
+                    }
+                    // Record only damage-carrying steps: a healthy room
+                    // stays silent instead of flooding the ring.
+                    if damage > 0.0 {
+                        w.sim_obs.obs.record_with(now, || FlightEvent::TripMargin {
+                            ups: id.0 as u32,
+                            damage,
+                        });
+                    }
+                    if tripped_now {
                         tripped.push(id);
                     }
                 }
@@ -580,6 +711,9 @@ impl RoomSim {
                     // `tripped` ids come from iterating this feed's own
                     // topology, so the failure cannot be rejected.
                     if w.feed.fail(id).is_ok() {
+                        w.sim_obs.obs.record(now, FlightEvent::UpsTripped {
+                            ups: id.0 as u32,
+                        });
                         w.stats.events.push((now, SimEvent::UpsTripped(id)));
                         schedule_failover_alarm(w, ctx, now, id);
                     }
@@ -600,7 +734,9 @@ impl RoomSim {
                 let loads = w.ups_loads();
                 for u in w.topo.upses() {
                     let f = loads.load(u.id()) / u.capacity();
-                    w.stats.ups_fraction[u.id().0].record(now, f);
+                    if let Some(series) = w.stats.ups_fraction.get_mut(u.id().0) {
+                        series.record(now, f);
+                    }
                 }
                 w.stats.total_power.record(now, loads.total().as_w());
                 let interval2 = interval;
@@ -648,6 +784,7 @@ impl RoomSim {
         self.sim.schedule_at(t, move |w: &mut RoomWorld, ctx| {
             if w.feed.fail(ups).is_ok() {
                 w.pending_detection = Some(t);
+                w.sim_obs.obs.record(t, FlightEvent::UpsFailed { ups: ups.0 as u32 });
                 w.stats.events.push((t, SimEvent::UpsFailed(ups)));
                 schedule_failover_alarm(w, ctx, t, ups);
             }
@@ -664,6 +801,7 @@ impl RoomSim {
                     acc.reset();
                 }
                 w.pending_detection = None;
+                w.sim_obs.obs.record(t, FlightEvent::UpsRestored { ups: ups.0 as u32 });
                 w.stats.events.push((t, SimEvent::UpsRestored(ups)));
                 let alarm_at = t + w.alarm_latency;
                 ctx.schedule_at(alarm_at, move |w: &mut RoomWorld, _| {
@@ -757,6 +895,12 @@ impl RoomWorld {
     /// this rack — i.e. some owner is actively working on it.
     pub fn pending_enforcement(&self, rack: RackId) -> bool {
         self.inflight.get(&rack).copied().unwrap_or(0) > 0
+    }
+
+    /// The observability handle this world records into (noop unless
+    /// the config carried a recording one).
+    pub fn obs(&self) -> &Obs {
+        &self.sim_obs.obs
     }
 }
 

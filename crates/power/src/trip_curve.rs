@@ -292,6 +292,14 @@ impl OverloadAccumulator {
         self.tripped
     }
 
+    /// Remaining trip-budget margin in `[0, 1]`: `1 − damage`. A healthy
+    /// device sits at 1.0 and a tripped one at 0.0; observability gauges
+    /// export this per UPS so a dump shows how close each survivor came
+    /// to cascading.
+    pub fn margin(&self) -> f64 {
+        (1.0 - self.damage).clamp(0.0, 1.0)
+    }
+
     /// Remaining time (seconds) at a constant `load_fraction` before the
     /// device trips; `None` if that load is tolerated indefinitely.
     pub fn time_to_trip(&self, load_fraction: f64) -> Option<f64> {
@@ -453,6 +461,17 @@ mod tests {
         acc.reset();
         assert!(!acc.is_tripped());
         assert_eq!(acc.damage(), 0.0);
+    }
+
+    #[test]
+    fn margin_mirrors_damage() {
+        let mut acc = OverloadAccumulator::new(TripCurve::end_of_life(), 60.0);
+        assert_eq!(acc.margin(), 1.0);
+        acc.advance(5.0, 4.0 / 3.0);
+        assert!((acc.margin() - 0.5).abs() < 1e-9);
+        acc.advance(20.0, 4.0 / 3.0);
+        assert!(acc.is_tripped());
+        assert_eq!(acc.margin(), 0.0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Physical meter models: noise, stuck readings, drops.
 
+use flex_obs::{Counter, Obs};
 use flex_power::meter::MeterKind;
 use flex_power::{UpsId, Watts};
 use flex_sim::dist::{Normal, Sample};
@@ -52,6 +53,10 @@ pub struct MeterBank {
     faults: MeterFaults,
     ups_meters: Vec<[MeterState; 3]>,
     rack_meters: Vec<MeterState>,
+    /// Successful reads (noop unless observability is attached).
+    reads: Counter,
+    /// Dropped/unavailable reads.
+    unavailable: Counter,
 }
 
 impl MeterBank {
@@ -78,7 +83,18 @@ impl MeterBank {
             faults,
             ups_meters,
             rack_meters,
+            reads: Counter::noop(),
+            unavailable: Counter::noop(),
         }
+    }
+
+    /// Attaches observability: `telemetry/meter_reads` counts successful
+    /// reads, `telemetry/meter_unavailable` dropped or foreign ones.
+    /// Instrument handles never perturb the meters' RNG streams, so an
+    /// instrumented bank reads bit-identically to an uninstrumented one.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.reads = obs.counter("telemetry/meter_reads");
+        self.unavailable = obs.counter("telemetry/meter_unavailable");
     }
 
     /// Number of racks metered.
@@ -122,17 +138,31 @@ impl MeterBank {
         now: SimTime,
         truth_it: Watts,
     ) -> Option<Watts> {
-        let kind_idx = MeterKind::ALL.iter().position(|&k| k == kind)?;
-        let state = self.ups_meters.get_mut(ups.0)?.get_mut(kind_idx)?;
-        let raw_truth = kind.denormalize(truth_it);
-        Self::read(state, &self.faults, now, raw_truth)
+        let out = (|| {
+            let kind_idx = MeterKind::ALL.iter().position(|&k| k == kind)?;
+            let state = self.ups_meters.get_mut(ups.0)?.get_mut(kind_idx)?;
+            let raw_truth = kind.denormalize(truth_it);
+            Self::read(state, &self.faults, now, raw_truth)
+        })();
+        match out {
+            Some(_) => self.reads.inc(),
+            None => self.unavailable.inc(),
+        }
+        out
     }
 
     /// Reads one rack meter. Returns `None` on a dropped reading or a
     /// foreign index.
     pub fn read_rack(&mut self, rack: usize, now: SimTime, truth: Watts) -> Option<Watts> {
-        let state = self.rack_meters.get_mut(rack)?;
-        Self::read(state, &self.faults, now, truth)
+        let out = self
+            .rack_meters
+            .get_mut(rack)
+            .and_then(|state| Self::read(state, &self.faults, now, truth));
+        match out {
+            Some(_) => self.reads.inc(),
+            None => self.unavailable.inc(),
+        }
+        out
     }
 
     /// Forces a meter into a stuck state (targeted fault injection).

@@ -1,5 +1,6 @@
 //! The poller / switch / pub-sub fabric and the 3-meter consensus.
 
+use flex_obs::{Counter, Obs, Span};
 use flex_power::meter::{GroundTruth, MeterKind};
 use flex_power::{UpsId, Watts};
 use flex_sim::dist::{LogNormal, Sample};
@@ -72,6 +73,11 @@ pub struct Pipeline {
     switch_names: Vec<String>,
     pubsub_names: Vec<String>,
     ups_meter_names: Vec<Vec<String>>,
+    // Observability (all noop unless attached via `set_obs`).
+    ups_polls: Counter,
+    rack_polls: Counter,
+    deliveries: Counter,
+    measure_to_arrive: Span,
 }
 
 impl Pipeline {
@@ -103,8 +109,26 @@ impl Pipeline {
                         .collect()
                 })
                 .collect(),
+            ups_polls: Counter::noop(),
+            rack_polls: Counter::noop(),
+            deliveries: Counter::noop(),
+            measure_to_arrive: Span::noop(),
             config,
         }
+    }
+
+    /// Attaches observability. `telemetry/ups_polls` / `rack_polls`
+    /// count poll ticks, `telemetry/deliveries` published messages, and
+    /// `span/telemetry/measure_to_arrive` histograms the end-to-end data
+    /// latency of every delivery — the first leg of the detect-to-shed
+    /// budget. Recording reads already-sampled arrival times and never
+    /// touches the latency RNG, so instrumented runs deliver identically.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.ups_polls = obs.counter("telemetry/ups_polls");
+        self.rack_polls = obs.counter("telemetry/rack_polls");
+        self.deliveries = obs.counter("telemetry/deliveries");
+        self.measure_to_arrive = obs.span("span/telemetry/measure_to_arrive");
+        self.meters.set_obs(obs);
     }
 
     /// Attaches a fault plan (replacing any previous one).
@@ -167,6 +191,7 @@ impl Pipeline {
     /// Runs one UPS poll tick at `now` against ground truth. Returns the
     /// deliveries produced by every live (poller × pub/sub) combination.
     pub fn poll_upses(&mut self, now: SimTime, truth: &GroundTruth) -> Vec<Delivery> {
+        self.ups_polls.inc();
         let ups_count = self.meters.ups_count();
         let mut deliveries = Vec::new();
         for poller in 0..self.config.pollers {
@@ -204,6 +229,8 @@ impl Pipeline {
                 let arrive_at = self.sample_delivery_time(now);
                 self.data_latency
                     .record((arrive_at - now).as_secs_f64());
+                self.deliveries.inc();
+                self.measure_to_arrive.record_between(now, arrive_at);
                 deliveries.push(Delivery {
                     poller,
                     pubsub,
@@ -219,6 +246,7 @@ impl Pipeline {
     /// Runs one rack poll tick at `now` against true rack draws
     /// (indexed by rack number).
     pub fn poll_racks(&mut self, now: SimTime, rack_truth: &[Watts]) -> Vec<Delivery> {
+        self.rack_polls.inc();
         let mut deliveries = Vec::new();
         for poller in 0..self.config.pollers {
             if !self.poller_up(poller, now) {
@@ -244,6 +272,8 @@ impl Pipeline {
                     continue;
                 }
                 let arrive_at = self.sample_delivery_time(now);
+                self.deliveries.inc();
+                self.measure_to_arrive.record_between(now, arrive_at);
                 deliveries.push(Delivery {
                     poller,
                     pubsub,

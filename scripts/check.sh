@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # The one-command gate: release build, flex-lint (zero error-severity
-# findings allowed), the full test suite, then the chaos smoke campaign
-# (scripts/chaos_smoke.sh). CI and pre-merge both run exactly this; see
-# DESIGN.md "The lint gate" and "Chaos harness".
+# findings allowed), the full test suite, the chaos smoke campaign
+# (scripts/chaos_smoke.sh), then the observability forensics loop
+# (scripts/obs_smoke.sh). CI and pre-merge both run exactly this; see
+# DESIGN.md "The lint gate", "Chaos harness", and "Observability".
 #
 # Usage: scripts/check.sh [extra cargo test args...]
 
@@ -10,16 +11,19 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== check 1/4: build =="
+echo "== check 1/5: build =="
 cargo build --offline --release --workspace
 
-echo "== check 2/4: flex-lint =="
+echo "== check 2/5: flex-lint =="
 ./target/release/flex-lint
 
-echo "== check 3/4: tests =="
+echo "== check 3/5: tests =="
 cargo test --offline --release -q "$@"
 
-echo "== check 4/4: chaos smoke =="
+echo "== check 4/5: chaos smoke =="
 scripts/chaos_smoke.sh
+
+echo "== check 5/5: obs smoke =="
+scripts/obs_smoke.sh
 
 echo "check: OK"

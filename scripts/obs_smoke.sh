@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Tier-2 observability smoke gate: the crash-forensics loop end to end
+# (see DESIGN.md "Observability"). Four checks, budgeted at 20 s wall
+# clock after the build:
+#
+#   1. a failing (unhardened) campaign embeds a flight-recorder dump in
+#      its failure report, and `flex-obs summary` reconstructs the
+#      decision timeline from the report JSON alone;
+#   2. the instrumented campaign is byte-deterministic: two fixed-seed
+#      runs produce identical reports, and `flex-obs diff` agrees;
+#   3. `flex-chaos replay` reproduces the verdict AND records a fresh
+#      dump that `flex-obs diff` finds identical to the campaign's —
+#      the controller decision trace replays bit-identically;
+#   4. `--no-obs` still fails the same scenario (recording is not
+#      load-bearing) and strips the embedded dump.
+#
+# Usage: scripts/obs_smoke.sh
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SEED=802821        # 0xC4A05, the campaign default
+SCENARIOS=2        # scenario 1 is blackout_at_failover: fails unhardened
+
+cargo build --offline --release -q -p flex-chaos -p flex-obs
+CHAOS=./target/release/flex-chaos
+OBS=./target/release/flex-obs
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+start=$(date +%s%N)
+
+echo "== obs smoke 1/4: failure report embeds a readable dump =="
+# Unhardened and unminimized so the failure (and its recorder dump) is
+# exactly the instrumented first run.
+"$CHAOS" run --seed "$SEED" --scenarios "$SCENARIOS" \
+    --no-watchdog --no-retry --no-minimize --json "$TMP/camp.json" \
+    && { echo "obs smoke: FAIL — unhardened campaign was clean" >&2; exit 1; }
+"$OBS" summary --file "$TMP/camp.json" | tee "$TMP/summary.out"
+grep -q '^dump: [1-9][0-9]* events' "$TMP/summary.out" || {
+    echo "obs smoke: FAIL — no flight events in the embedded dump" >&2
+    exit 1
+}
+grep -q 'command_issued' "$TMP/summary.out" || {
+    echo "obs smoke: FAIL — dump carries no controller decisions" >&2
+    exit 1
+}
+"$OBS" print --file "$TMP/camp.json" --limit 5 >/dev/null || {
+    echo "obs smoke: FAIL — timeline pretty-print failed" >&2
+    exit 1
+}
+
+echo "== obs smoke 2/4: instrumented campaign is byte-deterministic =="
+"$CHAOS" run --seed "$SEED" --scenarios "$SCENARIOS" \
+    --no-watchdog --no-retry --no-minimize --json "$TMP/camp2.json" \
+    >/dev/null || true
+cmp "$TMP/camp.json" "$TMP/camp2.json" || {
+    echo "obs smoke: FAIL — instrumented reports differ between runs" >&2
+    exit 1
+}
+"$OBS" diff --a "$TMP/camp.json" --b "$TMP/camp2.json" || {
+    echo "obs smoke: FAIL — flex-obs diff disagrees with cmp" >&2
+    exit 1
+}
+
+echo "== obs smoke 3/4: replay reproduces verdict and decision trace =="
+"$CHAOS" replay --file "$TMP/camp.json" --json "$TMP/replay.json" \
+    && { echo "obs smoke: FAIL — replay lost the violation" >&2; exit 1; }
+grep -q 'unexcused-trip' "$TMP/replay.json" || {
+    echo "obs smoke: FAIL — replay verdict missing the trip" >&2
+    exit 1
+}
+"$OBS" diff --a "$TMP/camp.json" --b "$TMP/replay.json" | tee "$TMP/diff.out"
+grep -q 'dumps are identical' "$TMP/diff.out" || {
+    echo "obs smoke: FAIL — replay decision trace diverged from the campaign" >&2
+    exit 1
+}
+
+echo "== obs smoke 4/4: --no-obs keeps the verdict, drops the dump =="
+"$CHAOS" run --seed "$SEED" --scenarios "$SCENARIOS" --no-obs \
+    --no-watchdog --no-retry --no-minimize --json "$TMP/bare.json" \
+    && { echo "obs smoke: FAIL — --no-obs changed the verdict" >&2; exit 1; }
+grep -q '"recorder":null' "$TMP/bare.json" || {
+    echo "obs smoke: FAIL — --no-obs still embeds a dump" >&2
+    exit 1
+}
+
+elapsed_ms=$(( ($(date +%s%N) - start) / 1000000 ))
+echo "obs smoke: OK (${elapsed_ms} ms, budget 20000 ms)"
+if [ "$elapsed_ms" -ge 20000 ]; then
+    echo "obs smoke: FAIL — exceeded the 20 s budget" >&2
+    exit 1
+fi

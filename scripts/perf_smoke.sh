@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 
 BENCH_ARGS=(--warm-up-time 0.5 --measurement-time 1)
 
-for bench in milp_solver placement_policies; do
+for bench in milp_solver placement_policies obs_overhead; do
     echo "== perf smoke: $bench =="
     cargo bench --offline -p flex-bench --bench "$bench" -- \
         "${BENCH_ARGS[@]}" "$@"
@@ -29,6 +29,30 @@ lint_elapsed_ms=$(( ($(date +%s%N) - lint_start) / 1000000 ))
 echo "flex-lint full-workspace pass: ${lint_elapsed_ms} ms (budget 5000 ms)"
 if [ "$lint_elapsed_ms" -ge 5000 ]; then
     echo "perf smoke: FAIL — flex-lint exceeded its 5 s budget" >&2
+    exit 1
+fi
+
+# The flight recorder must be cheap enough to leave on everywhere: a
+# fully instrumented 60-scenario campaign is budgeted at 115% of the
+# uninstrumented wall clock. Best-of-2 per side damps scheduler noise.
+echo "== perf smoke: obs campaign overhead =="
+cargo build --offline --release -q -p flex-chaos
+CHAOS=./target/release/flex-chaos
+campaign_ms() {
+    local best=0 t start
+    for _ in 1 2; do
+        start=$(date +%s%N)
+        "$CHAOS" run --scenarios 60 "$@" >/dev/null
+        t=$(( ($(date +%s%N) - start) / 1000000 ))
+        if [ "$best" -eq 0 ] || [ "$t" -lt "$best" ]; then best=$t; fi
+    done
+    echo "$best"
+}
+off_ms=$(campaign_ms --no-obs)
+on_ms=$(campaign_ms)
+echo "campaign: obs-off ${off_ms} ms, obs-on ${on_ms} ms (budget 115%)"
+if [ "$(( on_ms * 100 ))" -gt "$(( off_ms * 115 ))" ]; then
+    echo "perf smoke: FAIL — instrumented campaign exceeded 115% budget" >&2
     exit 1
 fi
 
