@@ -22,6 +22,10 @@ pub struct CampaignConfig {
     pub watchdog: bool,
     /// Actuation retries on?
     pub retries: bool,
+    /// Actuation epoch fencing on?
+    pub fencing: bool,
+    /// Deterministic crash recovery on?
+    pub recovery: bool,
     /// Delta-minimize failing scenarios before reporting?
     pub minimize: bool,
     /// Run every scenario with a recording [`Obs`] and embed each
@@ -38,6 +42,8 @@ impl Default for CampaignConfig {
             scenarios: 200,
             watchdog: true,
             retries: true,
+            fencing: true,
+            recovery: true,
             minimize: true,
             obs: true,
         }
@@ -106,6 +112,8 @@ impl CampaignReport {
             ("scenarios", Value::Num(self.config.scenarios as f64)),
             ("watchdog", Value::Bool(self.config.watchdog)),
             ("retries", Value::Bool(self.config.retries)),
+            ("fencing", Value::Bool(self.config.fencing)),
+            ("recovery", Value::Bool(self.config.recovery)),
             ("obs", Value::Bool(self.config.obs)),
             ("clean", Value::Num(self.clean as f64)),
             (
@@ -147,6 +155,14 @@ pub fn judge_obs(scenario: &Scenario, obs: &Obs) -> Vec<Violation> {
 
 /// Runs a full campaign.
 pub fn run(config: CampaignConfig) -> CampaignReport {
+    run_filtered(config, None)
+}
+
+/// Like [`run`], but when `family` is given only scenarios of that
+/// generator family execute (the others still *generate* — scenario `i`
+/// stays seed-stable regardless of the filter — but are skipped, and do
+/// not count as clean or appear in the family table).
+pub fn run_filtered(config: CampaignConfig, family: Option<&str>) -> CampaignReport {
     let mut clean = 0u64;
     let mut failures = Vec::new();
     let mut family_counts: Vec<(String, u64, u64)> = scenario::FAMILIES
@@ -155,8 +171,13 @@ pub fn run(config: CampaignConfig) -> CampaignReport {
         .collect();
     for i in 0..config.scenarios {
         let mut s = scenario::generate(config.seed, i);
+        if family.is_some_and(|f| f != s.family) {
+            continue;
+        }
         s.watchdog = config.watchdog;
         s.retries = config.retries;
+        s.fencing = config.fencing;
+        s.recovery = config.recovery;
         // One fresh recorder per scenario, so a failure's dump holds
         // exactly its own run (minimizer re-runs stay uninstrumented).
         let obs = if config.obs {
@@ -237,18 +258,23 @@ pub fn minimize(scenario: &Scenario, violations: &[Violation]) -> Scenario {
 }
 
 /// The A/B probe behind the acceptance criterion: run the campaign with
-/// both hardening features **off**, then re-judge every failure with
-/// them **on**. Returns `(report, survived)` where `survived` counts
-/// failing scenarios whose hardened re-run is violation-free.
+/// all four hardening features **off** (watchdog, retries, epoch
+/// fencing, crash recovery), then re-judge every failure with them all
+/// **on**. Returns `(report, survived)` where `survived` counts failing
+/// scenarios whose hardened re-run is violation-free.
 pub fn ab_probe(mut config: CampaignConfig) -> (CampaignReport, u64) {
     config.watchdog = false;
     config.retries = false;
+    config.fencing = false;
+    config.recovery = false;
     let report = run(config);
     let mut survived = 0u64;
     for failure in &report.failures {
         let mut hardened = failure.scenario.clone();
         hardened.watchdog = true;
         hardened.retries = true;
+        hardened.fencing = true;
+        hardened.recovery = true;
         if judge(&hardened).is_empty() {
             survived += 1;
         }

@@ -7,12 +7,13 @@
 //! — usually several at once, and usually at the worst moment. This
 //! crate turns that into a test surface:
 //!
-//! - [`scenario`] — replayable fault-combination scenarios: six
-//!   generator families (MTBF/MTTR background soup plus five
-//!   adversarial scripted shapes) over a small fast room, each fully
+//! - [`scenario`] — replayable fault-combination scenarios: eight
+//!   generator families (MTBF/MTTR background soup plus seven
+//!   adversarial scripted shapes, including controller restart storms
+//!   and pub/sub split-brain) over a small fast room, each fully
 //!   described by plain JSON-able data;
 //! - [`oracle`] — the post-run safety contract: no unexcused UPS trip,
-//!   no orphaned rack, bounded over-shed;
+//!   no orphaned rack, bounded over-shed, no stale-epoch actuation;
 //! - [`campaign`] — the driver: run N seeded scenarios, judge each,
 //!   greedily delta-minimize failures into 1-minimal reproducers, and
 //!   emit a byte-deterministic JSON report with each failure's
@@ -32,6 +33,8 @@ pub mod json;
 pub mod oracle;
 pub mod scenario;
 
-pub use campaign::{ab_probe, judge, judge_obs, run, CampaignConfig, CampaignReport, Failure};
+pub use campaign::{
+    ab_probe, judge, judge_obs, run, run_filtered, CampaignConfig, CampaignReport, Failure,
+};
 pub use oracle::Violation;
 pub use scenario::{run_scenario, run_scenario_obs, Scenario};

@@ -19,26 +19,39 @@ fn usage() -> ExitCode {
         "flex-chaos — seeded fault campaigns against the Flex-Online closed loop\n\
          \n\
          USAGE:\n\
-           flex-chaos run [--seed N] [--scenarios N] [--no-watchdog] [--no-retry]\n\
+           flex-chaos run [--seed N] [--scenarios N] [--family NAME]\n\
+                          [--no-watchdog] [--no-retry] [--no-fencing] [--no-recovery]\n\
                           [--no-minimize] [--no-obs] [--ab] [--json PATH]\n\
-           flex-chaos replay --file PATH [--json PATH]\n\
+           flex-chaos replay --file PATH [--harden] [--json PATH]\n\
          \n\
          `run` generates N fault-combination scenarios from the seed, drives the\n\
          closed room loop through each, judges every run against the safety oracle\n\
-         (no unexcused UPS trip, no orphaned rack, bounded over-shed), and\n\
-         delta-minimizes failures into replayable reproducers. Failing scenarios\n\
-         embed their flex-obs flight-recorder dump unless --no-obs. `--ab`\n\
-         disables the hardening features (blackout watchdog, actuation retry) for\n\
-         the campaign and re-judges every failure with them enabled. `replay`\n\
-         re-runs one scenario from a JSON file (a campaign report, one of its\n\
-         failure entries, or a bare `scenario`/`minimized` object), reports the\n\
-         verdict, and attaches a fresh recorder dump to the JSON output."
+         (no unexcused UPS trip, no orphaned rack, bounded over-shed, no stale-\n\
+         epoch actuation), and delta-minimizes failures into replayable\n\
+         reproducers. Failing scenarios embed their flex-obs flight-recorder dump\n\
+         unless --no-obs. `--family` restricts the run to one generator family.\n\
+         `--ab` disables all hardening features (blackout watchdog, actuation\n\
+         retry, epoch fencing, crash recovery) for the campaign and re-judges\n\
+         every failure with them enabled. `replay` re-runs one scenario from a\n\
+         JSON file (a campaign report, one of its failure entries, or a bare\n\
+         `scenario`/`minimized` object), reports the verdict, and attaches a\n\
+         fresh recorder dump to the JSON output; `--harden` forces every\n\
+         hardening switch on before judging."
     );
     ExitCode::from(2)
 }
 
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
-    const BARE: [&str; 5] = ["no-watchdog", "no-retry", "no-minimize", "no-obs", "ab"];
+    const BARE: [&str; 8] = [
+        "no-watchdog",
+        "no-retry",
+        "no-fencing",
+        "no-recovery",
+        "no-minimize",
+        "no-obs",
+        "ab",
+        "harden",
+    ];
     let mut flags = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -85,21 +98,26 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<bool, String> {
             .unwrap_or(CampaignConfig::default().scenarios),
         watchdog: !flags.contains_key("no-watchdog"),
         retries: !flags.contains_key("no-retry"),
+        fencing: !flags.contains_key("no-fencing"),
+        recovery: !flags.contains_key("no-recovery"),
         minimize: !flags.contains_key("no-minimize"),
         obs: !flags.contains_key("no-obs"),
     };
+    let family = flags.get("family").map(String::as_str);
     let (report, survived) = if flags.contains_key("ab") {
         let (report, survived) = ab_probe(config);
         (report, Some(survived))
     } else {
-        (campaign::run(config), None)
+        (campaign::run_filtered(config, family), None)
     };
     println!(
-        "campaign: seed {} | {} scenarios | watchdog {} | retries {}",
+        "campaign: seed {} | {} scenarios | watchdog {} | retries {} | fencing {} | recovery {}",
         report.config.seed,
         report.config.scenarios,
         if report.config.watchdog { "on" } else { "off" },
         if report.config.retries { "on" } else { "off" },
+        if report.config.fencing { "on" } else { "off" },
+        if report.config.recovery { "on" } else { "off" },
     );
     for (family, run, failed) in &report.family_counts {
         println!("  {family:<28} {run:>4} run  {failed:>3} failed");
@@ -124,7 +142,7 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<bool, String> {
     }
     if let Some(survived) = survived {
         println!(
-            "  A/B: {} of {} unhardened failures pass with watchdog+retry enabled",
+            "  A/B: {} of {} unhardened failures pass with watchdog+retry+fencing+recovery enabled",
             survived,
             report.failures.len()
         );
@@ -145,16 +163,24 @@ fn cmd_replay(flags: &BTreeMap<String, String>) -> Result<bool, String> {
         .and_then(|arr| arr.first())
         .unwrap_or(&value);
     let scenario_value = failure_value.get("scenario").unwrap_or(failure_value);
-    let scenario =
+    let mut scenario =
         Scenario::from_value(scenario_value).ok_or("file does not describe a scenario")?;
+    if flags.contains_key("harden") {
+        scenario.watchdog = true;
+        scenario.retries = true;
+        scenario.fencing = true;
+        scenario.recovery = true;
+    }
     println!(
-        "replaying scenario {} ({}, seed {}, util {:.3}, watchdog {}, retries {})",
+        "replaying scenario {} ({}, seed {}, util {:.3}, watchdog {}, retries {}, fencing {}, recovery {})",
         scenario.id,
         scenario.family,
         scenario.seed,
         scenario.util,
         if scenario.watchdog { "on" } else { "off" },
         if scenario.retries { "on" } else { "off" },
+        if scenario.fencing { "on" } else { "off" },
+        if scenario.recovery { "on" } else { "off" },
     );
     let obs = flex_obs::Obs::recording();
     let violations = campaign::judge_obs(&scenario, &obs);

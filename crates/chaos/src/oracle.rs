@@ -1,7 +1,7 @@
 //! The post-run safety oracle: decides whether a finished scenario run
 //! violated the closed loop's safety contract.
 //!
-//! Three checks, mirroring the paper's availability argument:
+//! Four checks, mirroring the paper's availability argument:
 //!
 //! 1. **No unexcused UPS trip.** A survivor tripping on its overload
 //!    curve is a room-availability loss — the one outcome Flex promises
@@ -22,6 +22,12 @@
 //!    power may never exceed three times the failed capacity plus a 2%
 //!    slack of provisioned — beyond that the loop is amputating, not
 //!    containing.
+//! 4. **No stale-epoch actuation.** A rack must never transition on a
+//!    command whose issuer epoch was already superseded (its
+//!    incarnation crashed or was declared isolated). With fencing on
+//!    the actuation layer rejects these outright; this check catches
+//!    the tagged applies the ablated (no-fencing) configuration lets
+//!    through.
 
 use flex_online::sim::SimEvent;
 use flex_online::RackPowerState;
@@ -52,7 +58,7 @@ const OVERSHED_SLACK_FRACTION: f64 = 0.02;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
     /// Violation class: `"unexcused-trip"`, `"orphaned-rack"`,
-    /// `"over-shed"`.
+    /// `"over-shed"`, `"stale-command"`.
     pub kind: String,
     /// Human-readable specifics (deterministic across runs).
     pub detail: String,
@@ -74,7 +80,28 @@ pub fn check(out: &RunOutcome) -> Vec<Violation> {
     check_trips(out, &mut violations);
     check_orphans(out, &mut violations);
     check_overshed(out, &mut violations);
+    check_fencing(out, &mut violations);
     violations
+}
+
+/// No rack may transition on a command from a superseded epoch. Fenced
+/// submissions never apply, so with fencing enabled this is vacuously
+/// clean; the ablated configuration tags each stale apply instead.
+fn check_fencing(out: &RunOutcome, violations: &mut Vec<Violation>) {
+    for (at, event) in &out.sim.world().stats.events {
+        let SimEvent::StaleApplied { rack } = event else {
+            continue;
+        };
+        violations.push(Violation {
+            kind: "stale-command".to_string(),
+            detail: format!(
+                "rack {} transitioned at {:.3}s on a command issued under a superseded \
+                 controller epoch",
+                rack.0,
+                at.as_secs_f64()
+            ),
+        });
+    }
 }
 
 fn sample_times(from: f64, until: f64) -> impl Iterator<Item = SimTime> {
@@ -283,7 +310,7 @@ mod tests {
     #[test]
     fn hardened_families_pass_the_oracle() {
         // One scenario per family; the hardened loop must survive all.
-        for i in 0..6 {
+        for i in 0..8 {
             let s = generate(0xFEED, i);
             let out = run_scenario(&s);
             let v = check(&out);

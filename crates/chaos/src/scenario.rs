@@ -8,7 +8,9 @@
 //! replayed from its JSON alone reproduces the original run
 //! bit-for-bit.
 
-use flex_online::sim::{DeliveryChaos, DemandFn, RoomSim, RoomSimConfig, RoomStats};
+use flex_online::sim::{
+    DeliveryChaos, DemandFn, PubSubPartition, RoomSim, RoomSimConfig, RoomStats,
+};
 use flex_online::{ActuatorConfig, ControllerConfig, ImpactRegistry};
 use flex_placement::policies::{BalancedRoundRobin, PlacementPolicy};
 use flex_placement::{PlacedRoom, Placement, Room, RoomConfig, RoomState};
@@ -139,6 +141,54 @@ impl ChaosSpec {
     }
 }
 
+/// Serializable pub/sub partition window: instances in `side_a` see
+/// only channel-0 deliveries for the window, everyone else only the
+/// remaining channels (the JSON mirror of
+/// [`flex_online::sim::PubSubPartition`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// Window start (ms).
+    pub from_ms: u64,
+    /// Window end — the heal instant (ms, exclusive).
+    pub until_ms: u64,
+    /// Controller instances pinned to pub/sub channel 0.
+    pub side_a: Vec<usize>,
+}
+
+impl PartitionSpec {
+    fn to_sim(&self) -> PubSubPartition {
+        PubSubPartition {
+            from: SimTime::ZERO + SimDuration::from_millis(self.from_ms),
+            until: SimTime::ZERO + SimDuration::from_millis(self.until_ms),
+            side_a: self.side_a.clone(),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("from_ms", Value::Num(self.from_ms as f64)),
+            ("until_ms", Value::Num(self.until_ms as f64)),
+            (
+                "side_a",
+                Value::Arr(self.side_a.iter().map(|&i| Value::Num(i as f64)).collect()),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        Some(PartitionSpec {
+            from_ms: v.get("from_ms")?.as_u64()?,
+            until_ms: v.get("until_ms")?.as_u64()?,
+            side_a: v
+                .get("side_a")?
+                .as_arr()?
+                .iter()
+                .map(|x| x.as_u64().map(|n| n as usize))
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
 /// A complete, replayable fault-combination scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -171,6 +221,14 @@ pub struct Scenario {
     pub stuck_meters: Vec<StuckMeter>,
     /// Pub/sub duplication/reordering.
     pub chaos: ChaosSpec,
+    /// Actuation epoch fencing enabled? (`false` = stale commands
+    /// apply, tagged for the oracle.)
+    pub fencing: bool,
+    /// Deterministic crash recovery enabled? (`false` = restarted
+    /// instances come back blank.)
+    pub recovery: bool,
+    /// Pub/sub partition window, if any.
+    pub partition: Option<PartitionSpec>,
 }
 
 impl Scenario {
@@ -191,6 +249,9 @@ impl Scenario {
             controller_faults: Vec::new(),
             stuck_meters: Vec::new(),
             chaos: ChaosSpec::default(),
+            fencing: true,
+            recovery: true,
+            partition: None,
         }
     }
 
@@ -201,11 +262,13 @@ impl Scenario {
             + self.controller_faults.len()
             + self.stuck_meters.len()
             + usize::from(!self.chaos.is_off())
+            + usize::from(self.partition.is_some())
     }
 
     /// Returns a copy with the `i`-th fault atom removed, or `None` if
     /// `i` is out of range. Atoms are ordered: pipeline faults, RM
-    /// faults, controller faults, stuck meters, delivery chaos.
+    /// faults, controller faults, stuck meters, delivery chaos,
+    /// partition.
     pub fn without_atom(&self, i: usize) -> Option<Self> {
         let mut s = self.clone();
         let mut i = i;
@@ -229,8 +292,15 @@ impl Scenario {
             return Some(s);
         }
         i -= s.stuck_meters.len();
-        if i == 0 && !s.chaos.is_off() {
-            s.chaos = ChaosSpec::default();
+        if !s.chaos.is_off() {
+            if i == 0 {
+                s.chaos = ChaosSpec::default();
+                return Some(s);
+            }
+            i -= 1;
+        }
+        if i == 0 && s.partition.is_some() {
+            s.partition = None;
             return Some(s);
         }
         None
@@ -266,6 +336,14 @@ impl Scenario {
                 Value::Arr(self.stuck_meters.iter().map(StuckMeter::to_value).collect()),
             ),
             ("chaos", self.chaos.to_value()),
+            ("fencing", Value::Bool(self.fencing)),
+            ("recovery", Value::Bool(self.recovery)),
+            (
+                "partition",
+                self.partition
+                    .as_ref()
+                    .map_or(Value::Null, PartitionSpec::to_value),
+            ),
         ])
     }
 
@@ -295,6 +373,14 @@ impl Scenario {
                 .map(StuckMeter::from_value)
                 .collect::<Option<Vec<_>>>()?,
             chaos: ChaosSpec::from_value(v.get("chaos")?)?,
+            // Reproducers predating these switches parse with the
+            // hardened defaults and no partition.
+            fencing: v.get("fencing").and_then(|x| x.as_bool()).unwrap_or(true),
+            recovery: v.get("recovery").and_then(|x| x.as_bool()).unwrap_or(true),
+            partition: match v.get("partition") {
+                None | Some(Value::Null) => None,
+                Some(p) => Some(PartitionSpec::from_value(p)?),
+            },
         })
     }
 }
@@ -445,14 +531,19 @@ pub fn run_scenario_obs(scenario: &Scenario, obs: &flex_obs::Obs) -> RunOutcome 
             } else {
                 0
             },
+            fencing: scenario.fencing,
             ..ActuatorConfig::default()
         },
         delivery_chaos: scenario.chaos.to_delivery_chaos(),
+        recovery: scenario.recovery,
         seed: scenario.seed,
         obs: obs.clone(),
         ..RoomSimConfig::default()
     };
     let mut sim = RoomSim::new(&placed, registry, demand, config);
+    if let Some(p) = &scenario.partition {
+        sim.world_mut().set_partition(Some(p.to_sim()));
+    }
     sim.world_mut()
         .set_pipeline_fault_plan(fault_plan_of(&scenario.pipeline_faults));
     sim.world_mut()
@@ -482,20 +573,22 @@ pub fn run_scenario_obs(scenario: &Scenario, obs: &flex_obs::Obs) -> RunOutcome 
 }
 
 /// The scenario generator families, in campaign round-robin order.
-pub const FAMILIES: [&str; 6] = [
+pub const FAMILIES: [&str; 8] = [
     "random_soup",
     "blackout_at_failover",
     "rm_blackout_shutdown_class",
     "controller_crash_mid_shed",
     "meter_stuck_low",
     "dup_reorder",
+    "restart_storm",
+    "split_brain",
 ];
 
 /// Generates scenario `index` of a campaign rooted at `campaign_seed`.
 ///
-/// Families rotate round-robin so every campaign prefix covers all six;
-/// each scenario derives an independent RNG stream, so campaigns are
-/// reproducible from `(campaign_seed, index)` alone.
+/// Families rotate round-robin so every campaign prefix covers all
+/// eight; each scenario derives an independent RNG stream, so campaigns
+/// are reproducible from `(campaign_seed, index)` alone.
 pub fn generate(campaign_seed: u64, index: u64) -> Scenario {
     let pool = RngPool::new(campaign_seed);
     let mut rng = pool.indexed_stream("chaos/scenario", index);
@@ -515,6 +608,9 @@ pub fn generate(campaign_seed: u64, index: u64) -> Scenario {
         controller_faults: Vec::new(),
         stuck_meters: Vec::new(),
         chaos: ChaosSpec::default(),
+        fencing: true,
+        recovery: true,
+        partition: None,
     };
     match family {
         "random_soup" => random_soup(&mut s, &mut rng),
@@ -522,7 +618,9 @@ pub fn generate(campaign_seed: u64, index: u64) -> Scenario {
         "rm_blackout_shutdown_class" => rm_blackout_shutdown_class(&mut s, &mut rng),
         "controller_crash_mid_shed" => controller_crash_mid_shed(&mut s, &mut rng),
         "meter_stuck_low" => meter_stuck_low(&mut s, &mut rng),
-        _ => dup_reorder(&mut s, &mut rng),
+        "dup_reorder" => dup_reorder(&mut s, &mut rng),
+        "restart_storm" => restart_storm(&mut s, &mut rng),
+        _ => split_brain(&mut s, &mut rng),
     }
     s
 }
@@ -728,6 +826,83 @@ fn dup_reorder(s: &mut Scenario, rng: &mut SmallRng) {
         delay_period: rng.gen_range(2..5),
         delay_ms: rng.gen_range(300..1_800),
     };
+}
+
+/// Restart storm: every controller instance crashes in a staggered,
+/// overlapping window after the shed completes, while the managers of
+/// the shutdown-class racks flap long enough that some enforcement
+/// chains are still backing off when their issuer dies. With fencing
+/// and recovery the revenants adopt the enforced racks and the orphaned
+/// chains are fenced at resubmission; the ablated loop leaves `Off`
+/// racks nobody owns and lets mid-backoff commands land under a
+/// superseded epoch.
+fn restart_storm(s: &mut Scenario, rng: &mut SmallRng) {
+    s.util = rng.gen_range(0.85..0.91);
+    // RM darkness over the shutdown class forces retry chains whose
+    // lifetime (up to ~10 s of deterministic backoff) straddles the
+    // crash windows below.
+    let placed = place_room(s.seed);
+    // Dark when the very first shed command goes out, back ~5 s in:
+    // the trip deadline (~10 s of contiguous overload) stays reachable
+    // for fenced re-issues, so a correct system survives.
+    let rm_from = s.fail_at_ms.saturating_sub(rng.gen_range(0..500));
+    let rm_until = s.fail_at_ms + rng.gen_range(4_000..5_500);
+    for r in placed.racks() {
+        if r.category == WorkloadCategory::SoftwareRedundant {
+            s.rm_faults.push(FaultWindow {
+                component: flex_sim::fault::names::rack_manager(r.id.0),
+                from_ms: rm_from,
+                until_ms: rm_until.min(s.horizon_ms),
+            });
+        }
+    }
+    // Staggered short crash windows, each starting mid-backoff of the
+    // retry chains born at the alarm; the restarts bump epochs while
+    // those chains are still live, so their tails arrive superseded.
+    // The stagger keeps the overlap brief and every instance back well
+    // before the trip deadline.
+    for c in 0..CONTROLLERS {
+        let from = s.fail_at_ms + 1_200 + c as u64 * 1_000 + rng.gen_range(0..600);
+        let until = from + rng.gen_range(2_000..3_000);
+        s.controller_faults.push(FaultWindow {
+            component: flex_sim::fault::names::controller(c),
+            from_ms: from,
+            until_ms: until.min(s.horizon_ms),
+        });
+    }
+}
+
+/// Split brain: a pub/sub partition pins instance 0 to channel 0 while
+/// the other channel is down, so instances 1 and 2 hear nothing at all
+/// while 0 keeps acting on a live view — and 0 itself crashes briefly
+/// mid-episode. Hardened, the dark side blind-sheds off the alarm, is
+/// declared isolated (fencing any stragglers), and recovers into a
+/// caught-up view; the healed room converges with bounded over-shed.
+/// Ablated, instance 0's targeted actions are forgotten across its
+/// blank restart and the dark side cannot reconcile.
+fn split_brain(s: &mut Scenario, rng: &mut SmallRng) {
+    s.util = rng.gen_range(0.84..0.90);
+    let from = s.fail_at_ms.saturating_sub(1_000);
+    let until = s.fail_at_ms + rng.gen_range(15_000..25_000);
+    s.partition = Some(PartitionSpec {
+        from_ms: from,
+        until_ms: until,
+        side_a: vec![0],
+    });
+    s.pipeline_faults.push(FaultWindow {
+        component: flex_sim::fault::names::pubsub(1),
+        from_ms: from,
+        until_ms: until,
+    });
+    // The healthy-side instance dies briefly mid-shed and must come
+    // back owning what it did.
+    let crash_from = s.fail_at_ms + rng.gen_range(4_000..7_000);
+    let crash_until = crash_from + rng.gen_range(2_000..4_000);
+    s.controller_faults.push(FaultWindow {
+        component: flex_sim::fault::names::controller(0),
+        from_ms: crash_from,
+        until_ms: crash_until.min(s.horizon_ms),
+    });
 }
 
 #[cfg(test)]

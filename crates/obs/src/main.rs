@@ -224,6 +224,33 @@ fn describe(event: &FlightEvent) -> String {
         FlightEvent::TripMargin { ups, damage } => {
             format!("ups {ups} trip-curve damage {damage:.4}")
         }
+        FlightEvent::EpochBump { controller, epoch } => {
+            format!("controller {controller} epoch bumped to {epoch}")
+        }
+        FlightEvent::CommandFenced {
+            controller,
+            rack,
+            epoch,
+            latest,
+        } => format!(
+            "actuator FENCED rack {rack} command from controller {controller} \
+             (epoch {epoch} < latest {latest})"
+        ),
+        FlightEvent::RecoveryStarted { controller, epoch } => {
+            format!("controller {controller} recovery started (epoch {epoch})")
+        }
+        FlightEvent::RecoveryCompleted {
+            controller,
+            epoch,
+            inflight,
+            alarmed,
+            ..
+        } => format!(
+            "controller {controller} recovery completed (epoch {epoch}, \
+             {} in-flight, {} alarmed)",
+            inflight.len(),
+            alarmed.len()
+        ),
     }
 }
 

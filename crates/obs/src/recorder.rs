@@ -155,6 +155,50 @@ pub enum FlightEvent {
         /// Accumulated damage in [0, 1]; 1 trips.
         damage: f64,
     },
+    /// A controller instance's epoch advanced (cold restart or
+    /// watchdog-declared isolation). Replay treats this as a cold
+    /// restart of the instance unless a `RecoveryCompleted` follows.
+    EpochBump {
+        /// Controller index.
+        controller: u32,
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// The actuation layer rejected a command carrying an epoch older
+    /// than the newest it has seen from that instance.
+    CommandFenced {
+        /// Issuing controller index.
+        controller: u32,
+        /// Target rack id.
+        rack: u32,
+        /// The stale epoch the command carried.
+        epoch: u64,
+        /// The newest epoch the actuator has seen for this instance.
+        latest: u64,
+    },
+    /// A restarted instance began its recovery protocol.
+    RecoveryStarted {
+        /// Controller index.
+        controller: u32,
+        /// The epoch the instance restarts into.
+        epoch: u64,
+    },
+    /// Recovery finished: the full `RecoverySnapshot` the instance
+    /// bootstrapped from, so a replay can rebuild the identical state.
+    RecoveryCompleted {
+        /// Controller index.
+        controller: u32,
+        /// The epoch the instance recovered into.
+        epoch: u64,
+        /// Per-rack power-state codes (0/1/2) queried from actuation.
+        rack_states: Vec<u8>,
+        /// In-flight commands as `(rack id, state code, apply ns)`.
+        inflight: Vec<(u32, u8, u64)>,
+        /// Standing failover alarms as `(ups id, since ns)`.
+        alarmed: Vec<(u32, u64)>,
+        /// Last-accepted telemetry sequence per UPS (advisory cursor).
+        last_seq: Vec<u64>,
+    },
 }
 
 impl FlightEvent {
@@ -178,6 +222,10 @@ impl FlightEvent {
             FlightEvent::UpsRestored { .. } => "ups_restored",
             FlightEvent::UpsTripped { .. } => "ups_tripped",
             FlightEvent::TripMargin { .. } => "trip_margin",
+            FlightEvent::EpochBump { .. } => "epoch_bump",
+            FlightEvent::CommandFenced { .. } => "command_fenced",
+            FlightEvent::RecoveryStarted { .. } => "recovery_started",
+            FlightEvent::RecoveryCompleted { .. } => "recovery_completed",
         }
     }
 
@@ -257,6 +305,67 @@ impl FlightEvent {
                 fields.push(("u", num(*ups as u64)));
                 fields.push(("d", Value::Num(*damage)));
             }
+            FlightEvent::EpochBump { controller, epoch }
+            | FlightEvent::RecoveryStarted { controller, epoch } => {
+                fields.push(("c", num(*controller as u64)));
+                fields.push(("e", num(*epoch)));
+            }
+            FlightEvent::CommandFenced {
+                controller,
+                rack,
+                epoch,
+                latest,
+            } => {
+                fields.push(("c", num(*controller as u64)));
+                fields.push(("rk", num(*rack as u64)));
+                fields.push(("e", num(*epoch)));
+                fields.push(("le", num(*latest)));
+            }
+            FlightEvent::RecoveryCompleted {
+                controller,
+                epoch,
+                rack_states,
+                inflight,
+                alarmed,
+                last_seq,
+            } => {
+                fields.push(("c", num(*controller as u64)));
+                fields.push(("e", num(*epoch)));
+                fields.push((
+                    "rs",
+                    Value::Arr(rack_states.iter().map(|&s| num(s as u64)).collect()),
+                ));
+                fields.push((
+                    "inf",
+                    Value::Arr(
+                        inflight
+                            .iter()
+                            .map(|&(rk, s, at)| {
+                                Value::Arr(vec![
+                                    num(rk as u64),
+                                    num(s as u64),
+                                    Value::Str(at.to_string()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                fields.push((
+                    "al",
+                    Value::Arr(
+                        alarmed
+                            .iter()
+                            .map(|&(u, since)| {
+                                Value::Arr(vec![num(u as u64), Value::Str(since.to_string())])
+                            })
+                            .collect(),
+                    ),
+                ));
+                fields.push((
+                    "ls",
+                    Value::Arr(last_seq.iter().map(|&s| num(s)).collect()),
+                ));
+            }
         }
         obj(fields)
     }
@@ -330,6 +439,59 @@ impl FlightEvent {
             "trip_margin" => FlightEvent::TripMargin {
                 ups: u()?,
                 damage: v.get("d")?.as_num()?,
+            },
+            "epoch_bump" => FlightEvent::EpochBump {
+                controller: c()?,
+                epoch: v.get("e")?.as_u64()?,
+            },
+            "command_fenced" => FlightEvent::CommandFenced {
+                controller: c()?,
+                rack: rk()?,
+                epoch: v.get("e")?.as_u64()?,
+                latest: v.get("le")?.as_u64()?,
+            },
+            "recovery_started" => FlightEvent::RecoveryStarted {
+                controller: c()?,
+                epoch: v.get("e")?.as_u64()?,
+            },
+            "recovery_completed" => FlightEvent::RecoveryCompleted {
+                controller: c()?,
+                epoch: v.get("e")?.as_u64()?,
+                rack_states: v
+                    .get("rs")?
+                    .as_arr()?
+                    .iter()
+                    .map(|s| Some(s.as_u64()? as u8))
+                    .collect::<Option<Vec<_>>>()?,
+                inflight: v
+                    .get("inf")?
+                    .as_arr()?
+                    .iter()
+                    .map(|row| {
+                        let items = row.as_arr()?;
+                        let rack = items.first()?.as_u64()? as u32;
+                        let state = items.get(1)?.as_u64()? as u8;
+                        let at = items.get(2)?.as_str()?.parse::<u64>().ok()?;
+                        Some((rack, state, at))
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+                alarmed: v
+                    .get("al")?
+                    .as_arr()?
+                    .iter()
+                    .map(|row| {
+                        let items = row.as_arr()?;
+                        let ups = items.first()?.as_u64()? as u32;
+                        let since = items.get(1)?.as_str()?.parse::<u64>().ok()?;
+                        Some((ups, since))
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+                last_seq: v
+                    .get("ls")?
+                    .as_arr()?
+                    .iter()
+                    .map(|s| s.as_u64())
+                    .collect::<Option<Vec<_>>>()?,
             },
             _ => return None,
         })
@@ -470,6 +632,17 @@ mod tests {
             },
             FlightEvent::ReadingStale { controller: 2 },
             FlightEvent::AlarmCleared { controller: 1, ups: 2 },
+            FlightEvent::EpochBump { controller: 0, epoch: 3 },
+            FlightEvent::CommandFenced { controller: 0, rack: 11, epoch: 2, latest: 3 },
+            FlightEvent::RecoveryStarted { controller: 2, epoch: 1 },
+            FlightEvent::RecoveryCompleted {
+                controller: 2,
+                epoch: 1,
+                rack_states: vec![0, 2, 1, 0],
+                inflight: vec![(7, 2, 21_500_000_333), (9, 1, 22_000_000_000)],
+                alarmed: vec![(1, 20_200_000_000)],
+                last_seq: vec![41, 0, 41, 39],
+            },
         ]
     }
 

@@ -5,6 +5,15 @@
 //! take ~hundreds of milliseconds to a couple of seconds (p99.9 ≈ 2 s in
 //! production for a 10 MW room), RMs can be unreachable, and repeated
 //! commands must be idempotent.
+//!
+//! The actuator is also the fencing point of the recovery protocol (see
+//! `crate::recovery`): every submission carries the issuing instance's
+//! epoch, and with [`ActuatorConfig::fencing`] on, a command whose epoch
+//! is older than the newest the actuator has seen for that instance is
+//! rejected outright — a stale or partitioned controller can never move
+//! a rack after its successor has acted.
+
+use std::collections::BTreeMap;
 
 use flex_obs::{Counter, FlightEvent, Obs, Span};
 use flex_placement::RackId;
@@ -49,6 +58,11 @@ pub struct ActuatorConfig {
     /// retries (the pre-hardening behavior: wait for the next decision
     /// round).
     pub max_retries: u32,
+    /// Reject submissions carrying an epoch older than the newest seen
+    /// for the issuing instance. Off reproduces the pre-fencing bug
+    /// mode: stale commands are accepted (tagged, so the simulation can
+    /// flag their application) — the A/B lever of the chaos campaign.
+    pub fencing: bool,
 }
 
 impl Default for ActuatorConfig {
@@ -60,6 +74,7 @@ impl Default for ActuatorConfig {
             retry_backoff_base: SimDuration::from_millis(250),
             retry_backoff_max: SimDuration::from_secs(2),
             max_retries: 6,
+            fencing: true,
         }
     }
 }
@@ -85,6 +100,37 @@ pub struct PendingCommand {
     pub new_state: RackPowerState,
     /// When the state change takes effect.
     pub apply_at: SimTime,
+    /// The controller instance that issued the command.
+    pub issuer: usize,
+    /// The issuer's epoch at submission time.
+    pub epoch: u64,
+    /// True if the epoch was already superseded at submission — only
+    /// possible with fencing off, where the stale command is accepted
+    /// anyway (the bug mode the chaos A/B exposes).
+    pub stale: bool,
+}
+
+/// The actuator's verdict on a submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Submission {
+    /// Accepted; the command applies at `apply_at`.
+    Accepted(PendingCommand),
+    /// The rack manager is unreachable (or the rack id is foreign);
+    /// worth retrying.
+    Unreachable,
+    /// Rejected by the epoch fence: the issuer has been superseded.
+    /// Never retried — the successor instance owns the rack now.
+    Fenced,
+}
+
+impl Submission {
+    /// The accepted command, if any.
+    pub fn accepted(self) -> Option<PendingCommand> {
+        match self {
+            Submission::Accepted(cmd) => Some(cmd),
+            _ => None,
+        }
+    }
 }
 
 /// The rack-manager actuation path: latency, reachability, idempotency.
@@ -104,6 +150,11 @@ pub struct Actuator {
     /// its command queue), so a restore can never overtake an in-flight
     /// action.
     last_apply: Vec<SimTime>,
+    /// Per-issuer epoch high-water mark (the fence).
+    fence: BTreeMap<usize, u64>,
+    /// Accepted commands not yet applied, in acceptance order — the
+    /// in-flight set a `RecoverySnapshot` hands to a restarted instance.
+    pending: Vec<PendingCommand>,
     /// Precomputed `"rm/{rack}"` fault-plan names: reachability is
     /// checked on every submission and formatting the name there showed
     /// up in the closed-loop hot path (see benches/fault_plan.rs).
@@ -114,6 +165,7 @@ pub struct Actuator {
     obs: Obs,
     submissions: Counter,
     rejections: Counter,
+    fenced: Counter,
     submit_to_apply: Span,
 }
 
@@ -126,11 +178,14 @@ impl Actuator {
             rng: pool.stream("actuator"),
             faults: FaultPlan::new(),
             last_apply: vec![SimTime::ZERO; rack_count],
+            fence: BTreeMap::new(),
+            pending: Vec::new(),
             rm_names: (0..rack_count).map(fault_names::rack_manager).collect(),
             command_latency: Percentiles::new(),
             obs: Obs::noop(),
             submissions: Counter::noop(),
             rejections: Counter::noop(),
+            fenced: Counter::noop(),
             submit_to_apply: Span::noop(),
             config,
         }
@@ -147,6 +202,7 @@ impl Actuator {
         self.obs = obs.clone();
         self.submissions = obs.counter("actuation/submissions");
         self.rejections = obs.counter("actuation/rejections");
+        self.fenced = obs.counter("actuation/fenced");
         self.submit_to_apply = obs.span("span/actuate/submit_to_apply");
     }
 
@@ -170,17 +226,37 @@ impl Actuator {
         &self.states
     }
 
-    /// Submits a corrective action. Returns the pending command if the
-    /// RM is reachable, `None` otherwise. Submitting an action the rack
-    /// is already in (or heading to) is accepted and harmless — the
-    /// application is idempotent.
+    /// Accepted commands not yet applied, in acceptance order.
+    pub fn pending(&self) -> &[PendingCommand] {
+        &self.pending
+    }
+
+    /// The newest epoch observed for an issuing instance (0 if never
+    /// seen).
+    pub fn latest_epoch(&self, issuer: usize) -> u64 {
+        self.fence.get(&issuer).copied().unwrap_or(0)
+    }
+
+    /// Advances the fence for `issuer` to at least `epoch`. The room
+    /// simulation calls this at every epoch bump so the fence closes
+    /// the moment a successor exists, not at its first command.
+    pub fn observe_epoch(&mut self, issuer: usize, epoch: u64) {
+        let slot = self.fence.entry(issuer).or_insert(0);
+        *slot = (*slot).max(epoch);
+    }
+
+    /// Submits a corrective action on behalf of instance `issuer` at
+    /// `epoch`. Submitting an action the rack is already in (or heading
+    /// to) is accepted and harmless — the application is idempotent.
     pub fn submit_action(
         &mut self,
         now: SimTime,
+        issuer: usize,
+        epoch: u64,
         rack: RackId,
         kind: ActionKind,
-    ) -> Option<PendingCommand> {
-        self.submit(now, rack, match kind {
+    ) -> Submission {
+        self.submit(now, issuer, epoch, rack, match kind {
             ActionKind::Shutdown => RackPowerState::Off,
             ActionKind::Throttle => RackPowerState::Throttled,
         }, SimDuration::ZERO)
@@ -188,32 +264,66 @@ impl Actuator {
 
     /// Submits a restore (lift cap / power on). Powering on adds the
     /// configured restart delay.
-    pub fn submit_restore(&mut self, now: SimTime, rack: RackId) -> Option<PendingCommand> {
+    pub fn submit_restore(
+        &mut self,
+        now: SimTime,
+        issuer: usize,
+        epoch: u64,
+        rack: RackId,
+    ) -> Submission {
         let extra = if self.states.get(rack.0) == Some(&RackPowerState::Off) {
             self.config.restart_delay
         } else {
             SimDuration::ZERO
         };
-        self.submit(now, rack, RackPowerState::Normal, extra)
+        self.submit(now, issuer, epoch, rack, RackPowerState::Normal, extra)
     }
 
     fn submit(
         &mut self,
         now: SimTime,
+        issuer: usize,
+        epoch: u64,
         rack: RackId,
         new_state: RackPowerState,
         extra_delay: SimDuration,
-    ) -> Option<PendingCommand> {
+    ) -> Submission {
         // Foreign rack ids have no precomputed RM name and are rejected.
-        let rm = self.rm_names.get(rack.0)?;
-        if !self.faults.is_up(rm, now) {
+        if rack.0 >= self.rm_names.len() {
+            return Submission::Unreachable;
+        }
+        // The fence sits at the actuation entry, ahead of reachability:
+        // a superseded issuer is refused even for racks whose RM happens
+        // to be down (so its retry chain dies instead of respinning).
+        // Rejecting before the latency draw keeps the RNG stream
+        // identical whether or not stale traffic shows up.
+        let latest = self.latest_epoch(issuer);
+        if self.config.fencing && epoch < latest {
+            self.fenced.inc();
+            self.obs.record_with(now, || FlightEvent::CommandFenced {
+                controller: issuer as u32,
+                rack: rack.0 as u32,
+                epoch,
+                latest,
+            });
+            return Submission::Fenced;
+        }
+        let stale = epoch < latest;
+        self.observe_epoch(issuer, epoch);
+        let reachable = self
+            .rm_names
+            .get(rack.0)
+            .is_some_and(|rm| self.faults.is_up(rm, now));
+        if !reachable {
             self.rejections.inc();
-            return None;
+            return Submission::Unreachable;
         }
         let latency_ms = self.latency.sample(&mut self.rng);
         let mut apply_at = now + SimDuration::from_secs_f64(latency_ms / 1_000.0) + extra_delay;
         // Per-rack FIFO: the RM serializes commands.
-        let last = self.last_apply.get_mut(rack.0)?;
+        let Some(last) = self.last_apply.get_mut(rack.0) else {
+            return Submission::Unreachable;
+        };
         apply_at = apply_at.max(*last + SimDuration::from_millis(1));
         *last = apply_at;
         self.command_latency
@@ -225,16 +335,27 @@ impl Actuator {
             state: state_code(new_state),
             apply_at_ns: apply_at.as_nanos(),
         });
-        Some(PendingCommand {
+        let cmd = PendingCommand {
             rack,
             new_state,
             apply_at,
-        })
+            issuer,
+            epoch,
+            stale,
+        };
+        self.pending.push(cmd);
+        Submission::Accepted(cmd)
     }
 
     /// Applies a pending command (call at its `apply_at` time).
-    /// Idempotent: re-applying the current state is a no-op.
+    /// Idempotent: re-applying the current state is a no-op. The command
+    /// leaves the in-flight set whether or not its issuer still lives —
+    /// an accepted command always runs to completion (the RM already
+    /// holds it), which is what lets a recovered instance adopt it.
     pub fn apply(&mut self, cmd: &PendingCommand) {
+        if let Some(pos) = self.pending.iter().position(|p| p == cmd) {
+            self.pending.remove(pos);
+        }
         if let Some(slot) = self.states.get_mut(cmd.rack.0) {
             *slot = cmd.new_state;
         }
@@ -276,12 +397,17 @@ mod tests {
         Actuator::new(n, ActuatorConfig::default(), &RngPool::new(9))
     }
 
+    fn ok(s: Submission) -> PendingCommand {
+        match s {
+            Submission::Accepted(cmd) => cmd,
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+    }
+
     #[test]
     fn submit_and_apply_changes_state() {
         let mut a = actuator(4);
-        let cmd = a
-            .submit_action(SimTime::ZERO, RackId(2), ActionKind::Throttle)
-            .unwrap();
+        let cmd = ok(a.submit_action(SimTime::ZERO, 0, 0, RackId(2), ActionKind::Throttle));
         assert!(cmd.apply_at > SimTime::ZERO);
         assert_eq!(a.state(RackId(2)), Some(RackPowerState::Normal), "not yet applied");
         a.apply(&cmd);
@@ -291,12 +417,8 @@ mod tests {
     #[test]
     fn idempotent_application() {
         let mut a = actuator(2);
-        let c1 = a
-            .submit_action(SimTime::ZERO, RackId(0), ActionKind::Shutdown)
-            .unwrap();
-        let c2 = a
-            .submit_action(SimTime::ZERO, RackId(0), ActionKind::Shutdown)
-            .unwrap();
+        let c1 = ok(a.submit_action(SimTime::ZERO, 0, 0, RackId(0), ActionKind::Shutdown));
+        let c2 = ok(a.submit_action(SimTime::ZERO, 0, 0, RackId(0), ActionKind::Shutdown));
         a.apply(&c1);
         a.apply(&c2);
         assert_eq!(a.state(RackId(0)), Some(RackPowerState::Off));
@@ -308,37 +430,30 @@ mod tests {
         let mut plan = FaultPlan::new();
         plan.add_outage("rm/1", SimTime::ZERO, SimTime::from_secs_f64(100.0));
         a.set_fault_plan(plan);
-        assert!(a
-            .submit_action(SimTime::from_secs_f64(5.0), RackId(1), ActionKind::Throttle)
-            .is_none());
+        assert_eq!(
+            a.submit_action(SimTime::from_secs_f64(5.0), 0, 0, RackId(1), ActionKind::Throttle),
+            Submission::Unreachable
+        );
         // Other racks unaffected.
-        assert!(a
-            .submit_action(SimTime::from_secs_f64(5.0), RackId(0), ActionKind::Throttle)
-            .is_some());
+        ok(a.submit_action(SimTime::from_secs_f64(5.0), 0, 0, RackId(0), ActionKind::Throttle));
         // After the outage, reachable again.
-        assert!(a
-            .submit_action(SimTime::from_secs_f64(101.0), RackId(1), ActionKind::Throttle)
-            .is_some());
+        ok(a.submit_action(SimTime::from_secs_f64(101.0), 0, 0, RackId(1), ActionKind::Throttle));
     }
 
     #[test]
     fn restore_from_off_includes_restart_delay() {
         let mut a = actuator(1);
-        let down = a
-            .submit_action(SimTime::ZERO, RackId(0), ActionKind::Shutdown)
-            .unwrap();
+        let down = ok(a.submit_action(SimTime::ZERO, 0, 0, RackId(0), ActionKind::Shutdown));
         a.apply(&down);
         let now = SimTime::from_secs_f64(60.0);
-        let up = a.submit_restore(now, RackId(0)).unwrap();
+        let up = ok(a.submit_restore(now, 0, 0, RackId(0)));
         assert!(up.apply_at >= now + ActuatorConfig::default().restart_delay);
         a.apply(&up);
         assert_eq!(a.state(RackId(0)), Some(RackPowerState::Normal));
         // Restoring a throttled rack has no restart delay.
-        let t = a
-            .submit_action(up.apply_at, RackId(0), ActionKind::Throttle)
-            .unwrap();
+        let t = ok(a.submit_action(up.apply_at, 0, 0, RackId(0), ActionKind::Throttle));
         a.apply(&t);
-        let lift = a.submit_restore(t.apply_at, RackId(0)).unwrap();
+        let lift = ok(a.submit_restore(t.apply_at, 0, 0, RackId(0)));
         assert!(lift.apply_at < t.apply_at + SimDuration::from_secs(30));
     }
 
@@ -348,9 +463,7 @@ mod tests {
         let demand = Watts::from_kw(14.0);
         let flex = Watts::from_kw(11.0);
         assert_eq!(a.effective_power(RackId(0), demand, flex), demand);
-        let t = a
-            .submit_action(SimTime::ZERO, RackId(0), ActionKind::Throttle)
-            .unwrap();
+        let t = ok(a.submit_action(SimTime::ZERO, 0, 0, RackId(0), ActionKind::Throttle));
         a.apply(&t);
         assert_eq!(a.effective_power(RackId(0), demand, flex), flex);
         // Throttle only binds when demand exceeds flex.
@@ -358,9 +471,7 @@ mod tests {
             a.effective_power(RackId(0), Watts::from_kw(5.0), flex),
             Watts::from_kw(5.0)
         );
-        let off = a
-            .submit_action(SimTime::ZERO, RackId(0), ActionKind::Shutdown)
-            .unwrap();
+        let off = ok(a.submit_action(SimTime::ZERO, 0, 0, RackId(0), ActionKind::Shutdown));
         a.apply(&off);
         assert_eq!(a.effective_power(RackId(0), demand, flex), Watts::ZERO);
     }
@@ -369,7 +480,7 @@ mod tests {
     fn command_latency_is_recorded_and_subsecondish() {
         let mut a = actuator(100);
         for i in 0..100 {
-            let _ = a.submit_action(SimTime::ZERO, RackId(i), ActionKind::Throttle);
+            let _ = a.submit_action(SimTime::ZERO, 0, 0, RackId(i), ActionKind::Throttle);
         }
         let p50 = a.command_latency.quantile(0.5).unwrap();
         assert!((0.2..2.0).contains(&p50), "median latency {p50}s");
@@ -382,10 +493,9 @@ mod tests {
         // otherwise the rack would end up acted-on with no owner.
         let mut a = actuator(1);
         for _ in 0..200 {
-            let act = a
-                .submit_action(SimTime::from_secs_f64(1.0), RackId(0), ActionKind::Throttle)
-                .unwrap();
-            let restore = a.submit_restore(SimTime::from_secs_f64(1.01), RackId(0)).unwrap();
+            let act =
+                ok(a.submit_action(SimTime::from_secs_f64(1.0), 0, 0, RackId(0), ActionKind::Throttle));
+            let restore = ok(a.submit_restore(SimTime::from_secs_f64(1.01), 0, 0, RackId(0)));
             assert!(
                 restore.apply_at > act.apply_at,
                 "restore ({}) overtook action ({})",
@@ -398,9 +508,10 @@ mod tests {
     #[test]
     fn foreign_rack_rejected() {
         let mut a = actuator(1);
-        assert!(a
-            .submit_action(SimTime::ZERO, RackId(5), ActionKind::Throttle)
-            .is_none());
+        assert_eq!(
+            a.submit_action(SimTime::ZERO, 0, 0, RackId(5), ActionKind::Throttle),
+            Submission::Unreachable
+        );
         assert_eq!(a.state(RackId(5)), None);
         // A foreign rack is not under actuator control: demand passes
         // through instead of panicking.
@@ -408,6 +519,65 @@ mod tests {
             a.effective_power(RackId(5), Watts::from_kw(7.0), Watts::from_kw(5.0)),
             Watts::from_kw(7.0)
         );
+    }
+
+    #[test]
+    fn fence_rejects_superseded_epochs() {
+        let mut a = actuator(3);
+        // Epoch 0 commands flow while it is the newest.
+        ok(a.submit_action(SimTime::ZERO, 0, 0, RackId(0), ActionKind::Throttle));
+        // A successor appears (restart): epoch 1 observed out of band.
+        a.observe_epoch(0, 1);
+        assert_eq!(
+            a.submit_action(SimTime::from_secs_f64(1.0), 0, 0, RackId(1), ActionKind::Shutdown),
+            Submission::Fenced,
+            "stale epoch must be fenced"
+        );
+        assert_eq!(
+            a.submit_restore(SimTime::from_secs_f64(1.0), 0, 0, RackId(0)),
+            Submission::Fenced,
+            "restores are fenced too"
+        );
+        // The new epoch itself flows, and other issuers are unaffected.
+        ok(a.submit_action(SimTime::from_secs_f64(1.0), 0, 1, RackId(1), ActionKind::Shutdown));
+        ok(a.submit_action(SimTime::from_secs_f64(1.0), 1, 0, RackId(2), ActionKind::Throttle));
+        assert_eq!(a.latest_epoch(0), 1);
+        assert_eq!(a.latest_epoch(1), 0);
+    }
+
+    #[test]
+    fn fencing_off_accepts_but_tags_stale_commands() {
+        let mut a = Actuator::new(
+            2,
+            ActuatorConfig {
+                fencing: false,
+                ..ActuatorConfig::default()
+            },
+            &RngPool::new(9),
+        );
+        a.observe_epoch(0, 2);
+        let cmd = ok(a.submit_action(SimTime::ZERO, 0, 1, RackId(0), ActionKind::Shutdown));
+        assert!(cmd.stale, "superseded epoch must be tagged");
+        let fresh = ok(a.submit_action(SimTime::ZERO, 0, 2, RackId(1), ActionKind::Throttle));
+        assert!(!fresh.stale);
+        // The stale command still applies — the bug mode under test.
+        a.apply(&cmd);
+        assert_eq!(a.state(RackId(0)), Some(RackPowerState::Off));
+    }
+
+    #[test]
+    fn pending_tracks_the_inflight_set() {
+        let mut a = actuator(3);
+        let c1 = ok(a.submit_action(SimTime::ZERO, 0, 0, RackId(0), ActionKind::Shutdown));
+        let c2 = ok(a.submit_action(SimTime::ZERO, 1, 0, RackId(1), ActionKind::Throttle));
+        assert_eq!(a.pending(), &[c1, c2]);
+        a.apply(&c1);
+        assert_eq!(a.pending(), &[c2], "applied commands leave the set");
+        a.apply(&c2);
+        assert!(a.pending().is_empty());
+        // Re-applying is harmless.
+        a.apply(&c2);
+        assert!(a.pending().is_empty());
     }
 
     #[test]

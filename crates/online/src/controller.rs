@@ -13,7 +13,9 @@ use flex_power::{Topology, Watts};
 use flex_sim::{SimDuration, SimTime};
 use flex_telemetry::TelemetryPayload;
 
+use crate::actuation::RackPowerState;
 use crate::policy::{decide, ActionKind, DecisionInput, PolicyConfig};
+use crate::recovery::{BufferedDelivery, RecoverySnapshot};
 use crate::{ImpactRegistry, OnlineError};
 
 /// A command a controller wants enforced.
@@ -82,10 +84,46 @@ impl Default for ControllerConfig {
     }
 }
 
+/// A comparable snapshot of every decision-relevant field of a
+/// [`Controller`]. Two instances with equal states issue identical
+/// commands for identical future inputs — the equality the
+/// crash-recovery property test asserts (recovered instance vs a
+/// never-crashed twin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerState {
+    /// Fencing epoch.
+    pub epoch: u64,
+    /// Per-UPS telemetry slots (measured-at, reading).
+    pub ups_power: Vec<Option<(SimTime, Watts)>>,
+    /// Per-rack telemetry slots (measured-at, reading).
+    pub rack_power: Vec<Option<(SimTime, Watts)>>,
+    /// Racks this instance believes it has acted on.
+    pub action_log: BTreeMap<RackId, ActionKind>,
+    /// Time since when the room has continuously looked healthy.
+    pub healthy_since: Option<SimTime>,
+    /// Whether corrective actions are outstanding.
+    pub engaged: bool,
+    /// Unreflected recent actions: (issued at, rack, per-UPS shares).
+    pub recent: Vec<(SimTime, RackId, Vec<(flex_power::UpsId, Watts)>)>,
+    /// `measured_at` of the newest accepted fresh UPS snapshot.
+    pub last_ups_data: Option<SimTime>,
+    /// When this instance first learned of the ongoing failover.
+    pub failover_known: Option<SimTime>,
+    /// UPSes with an outstanding failover alarm.
+    pub alarmed: BTreeSet<flex_power::UpsId>,
+    /// Watchdog latch for the current dark period.
+    pub watchdog_fired: bool,
+}
+
 /// One multi-primary controller instance.
 #[derive(Debug, Clone)]
 pub struct Controller {
     id: usize,
+    /// Monotonic fencing epoch: bumped (externally, via
+    /// [`set_epoch`](Controller::set_epoch)) on restart and on
+    /// watchdog-declared isolation. Commands submitted under an older
+    /// epoch are rejected by the actuation fence.
+    epoch: u64,
     topology: Topology,
     racks: Vec<PlacedRack>,
     registry: ImpactRegistry,
@@ -135,6 +173,7 @@ impl Controller {
         let rack_count = racks.len();
         Controller {
             id,
+            epoch: 0,
             topology,
             racks,
             registry,
@@ -174,6 +213,64 @@ impl Controller {
         self.id
     }
 
+    /// The fencing epoch this instance issues commands under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the fencing epoch (the room supervisor owns the counter and
+    /// bumps it on restart and on declared isolation).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// A blank instance with this one's identity, topology, placement,
+    /// registry, configuration, observability, and epoch — what a cold
+    /// restart produces. Recovery starts from here and layers the
+    /// snapshot + catch-up on top ([`Controller::recover`]).
+    pub fn fresh_like(&self) -> Controller {
+        Controller {
+            id: self.id,
+            epoch: self.epoch,
+            topology: self.topology.clone(),
+            racks: self.racks.clone(),
+            registry: self.registry.clone(),
+            config: self.config,
+            ups_power: vec![None; self.ups_power.len()],
+            rack_power: vec![None; self.rack_power.len()],
+            action_log: BTreeMap::new(),
+            healthy_since: None,
+            engaged: false,
+            recent: Vec::new(),
+            last_ups_data: None,
+            failover_known: None,
+            alarmed: BTreeSet::new(),
+            watchdog_fired: false,
+            obs: self.obs.clone(),
+            readings_accepted: self.readings_accepted.clone(),
+            readings_stale: self.readings_stale.clone(),
+            watchdog_fires: self.watchdog_fires.clone(),
+        }
+    }
+
+    /// The full decision-relevant state, for equality comparison in
+    /// recovery and convergence tests.
+    pub fn state(&self) -> ControllerState {
+        ControllerState {
+            epoch: self.epoch,
+            ups_power: self.ups_power.clone(),
+            rack_power: self.rack_power.clone(),
+            action_log: self.action_log.clone(),
+            healthy_since: self.healthy_since,
+            engaged: self.engaged,
+            recent: self.recent.clone(),
+            last_ups_data: self.last_ups_data,
+            failover_known: self.failover_known,
+            alarmed: self.alarmed.clone(),
+            watchdog_fired: self.watchdog_fired,
+        }
+    }
+
     /// Racks this instance believes it has acted on.
     pub fn action_log(&self) -> &BTreeMap<RackId, ActionKind> {
         &self.action_log
@@ -206,7 +303,28 @@ impl Controller {
         measured_at: SimTime,
         payload: &TelemetryPayload,
     ) -> Result<Vec<Command>, OnlineError> {
-        match payload {
+        if self.ingest(now, measured_at, payload) {
+            self.evaluate(now)
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// The pure state-update half of [`on_delivery`](Self::on_delivery):
+    /// slot updates, freshness bookkeeping, watchdog re-arm, and eager
+    /// staleness pruning — but no decision. Returns true when the
+    /// delivery carried fresh UPS data and a decision round should run.
+    ///
+    /// Recovery catch-up drives this directly: replaying a half-window
+    /// of telemetry through the full decision path would shed against
+    /// half-loaded views.
+    pub(crate) fn ingest(
+        &mut self,
+        now: SimTime,
+        measured_at: SimTime,
+        payload: &TelemetryPayload,
+    ) -> bool {
+        let evaluate = match payload {
             TelemetryPayload::UpsSnapshot(snapshot) => {
                 // Accept only strictly newer readings: an equal
                 // timestamp is a pub/sub redelivery of data this
@@ -229,23 +347,24 @@ impl Controller {
                 // delivery stream itself (a replayed controller makes
                 // the same accept/ignore call), and duplicate-heavy
                 // chaos would otherwise flood the ring.
-                if !accepted {
+                if accepted {
+                    // Acceptance is the normal case: count it, but keep
+                    // the flight ring for anomalies (stale deliveries
+                    // get an event; accepted ones are implied by their
+                    // delivery).
+                    self.readings_accepted.inc();
+                    if now.saturating_since(measured_at) <= self.config.staleness_limit {
+                        self.last_ups_data = Some(match self.last_ups_data {
+                            Some(t) => t.max(measured_at),
+                            None => measured_at,
+                        });
+                        // Fresh data re-arms the blackout watchdog.
+                        self.watchdog_fired = false;
+                    }
+                } else {
                     self.readings_stale.inc();
-                    return Ok(Vec::new());
                 }
-                // Acceptance is the normal case: count it, but keep the
-                // flight ring for anomalies (stale deliveries get an
-                // event; accepted ones are implied by their delivery).
-                self.readings_accepted.inc();
-                if now.saturating_since(measured_at) <= self.config.staleness_limit {
-                    self.last_ups_data = Some(match self.last_ups_data {
-                        Some(t) => t.max(measured_at),
-                        None => measured_at,
-                    });
-                    // Fresh data re-arms the blackout watchdog.
-                    self.watchdog_fired = false;
-                }
-                self.evaluate(now)
+                accepted
             }
             TelemetryPayload::RackSnapshot(snapshot) => {
                 for &(rack, w) in snapshot {
@@ -255,8 +374,33 @@ impl Controller {
                         }
                     }
                 }
-                Ok(Vec::new())
+                false
             }
+        };
+        // Eagerly drop readings past the staleness limit. UPS slots:
+        // no outcome change (`fresh_ups_powers` already ignored them by
+        // timestamp). Rack slots: a reading dark for >15 s now degrades
+        // to the provisioned estimate — the conservative side. The
+        // point of pruning is that held state becomes a function of the
+        // recent delivery window alone, which is what lets a catch-up
+        // replay over that window reproduce it bit-identically.
+        self.prune_stale(now);
+        evaluate
+    }
+
+    /// Drops telemetry older than the staleness limit relative to `now`.
+    pub(crate) fn prune_stale(&mut self, now: SimTime) {
+        let limit = self.config.staleness_limit;
+        for slot in self.ups_power.iter_mut().chain(self.rack_power.iter_mut()) {
+            if slot.is_some_and(|(t, _)| now.saturating_since(t) > limit) {
+                *slot = None;
+            }
+        }
+        if self
+            .last_ups_data
+            .is_some_and(|t| now.saturating_since(t) > limit)
+        {
+            self.last_ups_data = None;
         }
     }
 
@@ -348,6 +492,128 @@ impl Controller {
     pub fn on_enforcement_failed(&mut self, rack: RackId) {
         self.action_log.remove(&rack);
         self.recent.retain(|(_, r, _)| *r != rack);
+    }
+
+    /// Rebuilds a restarted instance from a [`RecoverySnapshot`] plus a
+    /// bounded telemetry catch-up window (the deterministic recovery
+    /// protocol, see `crate::recovery`).
+    ///
+    /// `base` supplies identity and configuration (typically the dead
+    /// incarnation, whose volatile state is ignored); `now` is the
+    /// restart instant. The rebuild:
+    ///
+    /// 1. adopts ownership of every enforced rack from the actuation
+    ///    ground truth — including racks another dead instance acted
+    ///    on, healing cross-instance orphans;
+    /// 2. overlays the in-flight command set in apply order (an
+    ///    accepted restore supersedes the Off state it will clear);
+    /// 3. restores standing alarms, dating `failover_known` from the
+    ///    earliest;
+    /// 4. re-ingests the catch-up window at each item's original
+    ///    arrival time — ingest only, never evaluating mid-replay
+    ///    (deciding against a half-loaded view would over-shed);
+    /// 5. seeds the reflect window from not-yet-applied corrective
+    ///    commands, so the instance does not re-shed for power that an
+    ///    in-flight command is already about to recover.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineError::SnapshotLength`] if the snapshot's rack
+    /// states disagree with the room's rack count, and propagates
+    /// policy errors from recovery-share projection.
+    pub fn recover(
+        base: &Controller,
+        snapshot: &RecoverySnapshot,
+        catch_up: &[BufferedDelivery],
+        now: SimTime,
+    ) -> Result<Controller, OnlineError> {
+        if snapshot.rack_states.len() != base.racks.len() {
+            return Err(OnlineError::SnapshotLength {
+                what: "recovery rack states",
+                expected: base.racks.len(),
+                got: snapshot.rack_states.len(),
+            });
+        }
+        let mut c = base.fresh_like();
+        c.epoch = snapshot.epoch;
+
+        // 1. Enforced racks, from actuation ground truth.
+        for (i, state) in snapshot.rack_states.iter().enumerate() {
+            match state {
+                RackPowerState::Off => {
+                    c.action_log.insert(RackId(i), ActionKind::Shutdown);
+                }
+                RackPowerState::Throttled => {
+                    c.action_log.insert(RackId(i), ActionKind::Throttle);
+                }
+                RackPowerState::Normal => {}
+            }
+        }
+        // 2. In-flight commands, in apply order.
+        let mut inflight = snapshot.inflight.clone();
+        inflight.sort_by_key(|p| (p.apply_at, p.rack));
+        for cmd in &inflight {
+            match cmd.new_state {
+                RackPowerState::Off => {
+                    c.action_log.insert(cmd.rack, ActionKind::Shutdown);
+                }
+                RackPowerState::Throttled => {
+                    c.action_log.insert(cmd.rack, ActionKind::Throttle);
+                }
+                RackPowerState::Normal => {
+                    c.action_log.remove(&cmd.rack);
+                }
+            }
+        }
+        c.engaged = !c.action_log.is_empty();
+
+        // 3. Standing alarms.
+        for &(ups, since) in &snapshot.alarmed {
+            c.alarmed.insert(ups);
+            c.failover_known = Some(match c.failover_known {
+                Some(t) => t.min(since),
+                None => since,
+            });
+        }
+
+        // 4. Telemetry catch-up, ingest-only.
+        for item in catch_up {
+            let _ = c.ingest(item.arrive_at, item.measured_at, &item.payload);
+        }
+        c.prune_stale(now);
+
+        // 5. Reflect pending corrective recoveries so the first
+        // evaluation after restart does not double-shed mid-shed.
+        let view = match c.fresh_ups_powers(now) {
+            Some(v) => v,
+            None => c.topology.upses().iter().map(|u| u.capacity()).collect(),
+        };
+        let online = crate::policy::infer_online(&c.topology, &view, &c.config.policy);
+        for cmd in &inflight {
+            if cmd.apply_at <= now {
+                continue;
+            }
+            let Some(r) = c.racks.get(cmd.rack.0) else {
+                continue;
+            };
+            let estimate = match cmd.new_state {
+                RackPowerState::Off => match c.rack_power.get(cmd.rack.0).copied().flatten() {
+                    Some((_, w)) => w.min(r.provisioned),
+                    None => r.provisioned,
+                },
+                RackPowerState::Throttled => {
+                    (r.provisioned - r.flex_power).clamp_non_negative() * 0.5
+                }
+                RackPowerState::Normal => continue,
+            };
+            if estimate.as_w() <= 0.0 {
+                continue;
+            }
+            let shares =
+                crate::policy::recovery_shares(&c.topology, r.pdu_pair, &online, estimate)?;
+            c.recent.push((now, cmd.rack, shares));
+        }
+        Ok(c)
     }
 
     fn fresh_ups_powers(&self, now: SimTime) -> Option<Vec<Watts>> {

@@ -35,11 +35,15 @@ mod error;
 mod impact_registry;
 pub mod policy;
 pub mod prober;
+pub mod recovery;
 pub mod replay;
 pub mod sim;
 
-pub use actuation::{state_code, Actuator, ActuatorConfig, RackPowerState};
-pub use controller::{Command, Controller, ControllerConfig};
+pub use actuation::{
+    state_code, Actuator, ActuatorConfig, PendingCommand, RackPowerState, Submission,
+};
+pub use controller::{Command, Controller, ControllerConfig, ControllerState};
+pub use recovery::{BufferedDelivery, CatchUpBuffer, RecoverySnapshot};
 pub use error::OnlineError;
 pub use impact_registry::ImpactRegistry;
 pub use policy::{Action, ActionKind, ActionSummary, DecisionInput, DecisionOutcome, PolicyConfig};

@@ -1,0 +1,171 @@
+//! Deterministic controller crash recovery.
+//!
+//! A restarted instance must not come back blank: a cold restart
+//! forgets issued-but-unreflected commands (orphaning enforced racks)
+//! and the darkness state the watchdog depends on. The recovery
+//! protocol rebuilds a replacement instance from two sources:
+//!
+//! 1. a [`RecoverySnapshot`] — ground truth queried from the actuation
+//!    layer (rack power states and the in-flight command set), the
+//!    alarm registry, and the last-accepted telemetry sequence per UPS;
+//! 2. a bounded telemetry catch-up replay from a [`CatchUpBuffer`] —
+//!    the recent delivery window, re-ingested (without evaluating) so
+//!    the instance's telemetry view matches what it would hold had it
+//!    never crashed.
+//!
+//! Because [`crate::Controller`] state is a pure function of its
+//! inputs, and the buffer horizon
+//! ([`CATCH_UP_HORIZON`]) exceeds the controller's staleness limit,
+//! the recovered instance is *bit-identical* to a never-crashed twin
+//! given the same post-restart deliveries — the property
+//! `tests/recovery.rs` drives. See `Controller::recover` for the
+//! rebuild itself.
+
+use std::collections::VecDeque;
+
+use flex_power::UpsId;
+use flex_sim::{SimDuration, SimTime};
+use flex_telemetry::TelemetryPayload;
+
+use crate::actuation::{PendingCommand, RackPowerState};
+
+/// Most deliveries a [`CatchUpBuffer`] retains. Generous: the 4-UPS
+/// room produces ~8 deliveries per 1.5 s poll round, so the horizon
+/// binds long before the capacity does.
+pub const CATCH_UP_CAPACITY: usize = 512;
+
+/// How far back catch-up replay reaches. Strictly longer than
+/// [`crate::ControllerConfig::staleness_limit`] (15 s): everything old
+/// enough to fall outside the buffer is stale on a never-crashed
+/// instance too (eagerly pruned at ingest), so the horizon loses no
+/// state that could distinguish the recovered instance from its twin.
+pub const CATCH_UP_HORIZON: SimDuration = SimDuration::from_secs(20);
+
+/// What a restarted instance bootstraps from (besides catch-up).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverySnapshot {
+    /// The epoch the instance restarts into (already bumped).
+    pub epoch: u64,
+    /// Per-rack enforced power state, queried from actuation (index =
+    /// rack id). Off/Throttled racks are adopted into the action log —
+    /// including racks a *different* dead instance enforced, which is
+    /// what heals cross-instance orphans.
+    pub rack_states: Vec<RackPowerState>,
+    /// Commands accepted by the actuation layer but not yet applied,
+    /// with their scheduled apply times.
+    pub inflight: Vec<PendingCommand>,
+    /// UPSes with a standing failover alarm and when each was raised.
+    pub alarmed: Vec<(UpsId, SimTime)>,
+    /// Highest delivered telemetry sequence per UPS at snapshot time.
+    /// Advisory: catch-up re-ingests the whole buffer unconditionally
+    /// (ingest is idempotent and monotone, and the dead incarnation's
+    /// state is gone, so skipping "already consumed" items would lose
+    /// data); the cursor exists for diagnostics and cross-checking.
+    pub last_seq: Vec<u64>,
+}
+
+/// One retained delivery, replayable through the ingest path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferedDelivery {
+    /// Pipeline publication sequence number.
+    pub seq: u64,
+    /// When subscribers received it.
+    pub arrive_at: SimTime,
+    /// When the underlying meters were read.
+    pub measured_at: SimTime,
+    /// The readings.
+    pub payload: TelemetryPayload,
+}
+
+/// A bounded window of recent deliveries, pruned by
+/// [`CATCH_UP_HORIZON`] and capped at [`CATCH_UP_CAPACITY`]. Pushes
+/// must arrive in nondecreasing `arrive_at` order (the simulation's
+/// event loop guarantees it).
+#[derive(Debug, Clone, Default)]
+pub struct CatchUpBuffer {
+    items: VecDeque<BufferedDelivery>,
+}
+
+impl CatchUpBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        CatchUpBuffer {
+            items: VecDeque::with_capacity(64),
+        }
+    }
+
+    /// Appends a delivery, evicting anything beyond the horizon or the
+    /// capacity (oldest first).
+    pub fn push(&mut self, item: BufferedDelivery) {
+        let newest = item.arrive_at;
+        self.items.push_back(item);
+        while self.items.len() > CATCH_UP_CAPACITY {
+            self.items.pop_front();
+        }
+        while self
+            .items
+            .front()
+            .is_some_and(|d| newest.saturating_since(d.arrive_at) > CATCH_UP_HORIZON)
+        {
+            self.items.pop_front();
+        }
+    }
+
+    /// The retained window, oldest first.
+    pub fn items(&self) -> Vec<BufferedDelivery> {
+        self.items.iter().cloned().collect()
+    }
+
+    /// Number of retained deliveries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(seq: u64, at_secs: u64) -> BufferedDelivery {
+        BufferedDelivery {
+            seq,
+            arrive_at: SimTime::from_nanos(at_secs * 1_000_000_000),
+            measured_at: SimTime::from_nanos(at_secs * 1_000_000_000),
+            payload: TelemetryPayload::UpsSnapshot(Vec::new()),
+        }
+    }
+
+    #[test]
+    fn horizon_evicts_old_deliveries() {
+        let mut b = CatchUpBuffer::new();
+        b.push(item(0, 1));
+        b.push(item(1, 5));
+        b.push(item(2, 30));
+        // 30 − 1 > 20 s: the first item is out; 30 − 5 > 20 too.
+        assert_eq!(
+            b.items().iter().map(|d| d.seq).collect::<Vec<_>>(),
+            vec![2]
+        );
+        b.push(item(3, 45));
+        assert_eq!(
+            b.items().iter().map(|d| d.seq).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut b = CatchUpBuffer::new();
+        for i in 0..(CATCH_UP_CAPACITY as u64 + 10) {
+            // All within the horizon: same arrival second.
+            b.push(item(i, 100));
+        }
+        assert_eq!(b.len(), CATCH_UP_CAPACITY);
+        assert_eq!(b.items().first().map(|d| d.seq), Some(10));
+    }
+}

@@ -22,8 +22,19 @@ use flex_power::{UpsId, Watts};
 use flex_sim::SimTime;
 use flex_telemetry::TelemetryPayload;
 
+use crate::actuation::PendingCommand;
 use crate::policy::ActionKind;
-use crate::{Command, Controller};
+use crate::recovery::{BufferedDelivery, CatchUpBuffer, RecoverySnapshot};
+use crate::{Command, Controller, RackPowerState};
+
+/// Inverse of [`crate::state_code`].
+fn decode_state(code: u8) -> RackPowerState {
+    match code {
+        1 => RackPowerState::Throttled,
+        2 => RackPowerState::Off,
+        _ => RackPowerState::Normal,
+    }
+}
 
 /// One replayed (or recorded) command: when, by which instance, what.
 pub type TimedCommand = (SimTime, usize, Command);
@@ -70,6 +81,11 @@ pub fn replay_decisions(
     events: &[(u64, FlightEvent)],
 ) -> Vec<TimedCommand> {
     let mut out = Vec::new();
+    // Mirror of the room's catch-up buffer, rebuilt from the recorded
+    // delivery stream (which includes mask-0 arrivals for exactly this
+    // purpose). The pipeline sequence is not recorded; it is advisory
+    // in recovery, so a zero placeholder changes nothing.
+    let mut buffer = CatchUpBuffer::new();
     for (t_ns, event) in events {
         let now = SimTime::from_nanos(*t_ns);
         match event {
@@ -84,6 +100,15 @@ pub fn replay_decisions(
                         .map(|&(u, w)| (UpsId(u as usize), Watts::new(w)))
                         .collect(),
                 );
+                // Pushed before the feed, matching the room's dispatch
+                // order: a recovery at this same instant (an *earlier*
+                // event in the stream) must not see this delivery.
+                buffer.push(BufferedDelivery {
+                    seq: 0,
+                    arrive_at: now,
+                    measured_at: SimTime::from_nanos(*measured_at_ns),
+                    payload: payload.clone(),
+                });
                 deliver(controllers, *mask, now, *measured_at_ns, &payload, &mut out);
             }
             FlightEvent::RackDelivery {
@@ -97,6 +122,12 @@ pub fn replay_decisions(
                         .map(|&(r, w)| (r as usize, Watts::new(w)))
                         .collect(),
                 );
+                buffer.push(BufferedDelivery {
+                    seq: 0,
+                    arrive_at: now,
+                    measured_at: SimTime::from_nanos(*measured_at_ns),
+                    payload: payload.clone(),
+                });
                 deliver(controllers, *mask, now, *measured_at_ns, &payload, &mut out);
             }
             FlightEvent::FailoverAlarm { controller, ups } => {
@@ -122,8 +153,70 @@ pub fn replay_decisions(
                     c.on_enforcement_failed(RackId(*rack as usize));
                 }
             }
-            // Everything else (command/apply/trip bookkeeping) is an
-            // *output* of the control loop, not an input to it.
+            // An epoch bump supersedes the incarnation: blank restart
+            // in the new epoch. This alone reproduces the ablated
+            // (no-recovery) mode; with recovery on, the room records a
+            // RecoveryCompleted right after (crash restart) or at the
+            // next refresh (isolation), and the instance is fed nothing
+            // in between — so overlaying the rebuild then is faithful.
+            FlightEvent::EpochBump { controller, epoch } => {
+                if let Some(c) = controllers.get_mut(*controller as usize) {
+                    let mut fresh = c.fresh_like();
+                    fresh.set_epoch(*epoch);
+                    *c = fresh;
+                }
+            }
+            // The embedded snapshot plus the buffer mirror re-derive
+            // the recovered state exactly as the room did.
+            FlightEvent::RecoveryCompleted {
+                controller,
+                epoch,
+                rack_states,
+                inflight,
+                alarmed,
+                last_seq,
+            } => {
+                let idx = *controller as usize;
+                let Some(c) = controllers.get_mut(idx) else {
+                    continue;
+                };
+                let snapshot = RecoverySnapshot {
+                    epoch: *epoch,
+                    rack_states: rack_states.iter().map(|&s| decode_state(s)).collect(),
+                    inflight: inflight
+                        .iter()
+                        .map(|&(r, s, at_ns)| PendingCommand {
+                            rack: RackId(r as usize),
+                            new_state: decode_state(s),
+                            apply_at: SimTime::from_nanos(at_ns),
+                            // Untracked in the dump; recovery reads
+                            // only rack/state/apply-time.
+                            issuer: idx,
+                            epoch: *epoch,
+                            stale: false,
+                        })
+                        .collect(),
+                    alarmed: alarmed
+                        .iter()
+                        .map(|&(u, t_ns)| (UpsId(u as usize), SimTime::from_nanos(t_ns)))
+                        .collect(),
+                    last_seq: last_seq.clone(),
+                };
+                let items = buffer.items();
+                *c = match Controller::recover(c, &snapshot, &items, now) {
+                    Ok(rebuilt) => rebuilt,
+                    // Mirror the room's degrade-to-blank on a
+                    // malformed snapshot.
+                    Err(_) => {
+                        let mut fresh = c.fresh_like();
+                        fresh.set_epoch(*epoch);
+                        fresh
+                    }
+                };
+            }
+            // Everything else (command/apply/trip/fence bookkeeping and
+            // recovery-start markers) is an *output* of the control
+            // loop, not an input to it.
             _ => {}
         }
     }

@@ -23,9 +23,10 @@ use flex_sim::{Ctx, Sim, SimDuration, SimTime};
 use flex_telemetry::{Delivery, Pipeline, PipelineConfig, TelemetryPayload};
 use rand::rngs::SmallRng;
 
+use crate::recovery::{BufferedDelivery, CatchUpBuffer, RecoverySnapshot};
 use crate::{
-    Actuator, ActuatorConfig, Command, Controller, ControllerConfig, ImpactRegistry,
-    RackPowerState,
+    state_code, Actuator, ActuatorConfig, Command, Controller, ControllerConfig, ImpactRegistry,
+    RackPowerState, Submission,
 };
 
 /// Per-rack demand source: what the rack *wants* to draw at a given time
@@ -85,6 +86,19 @@ pub struct RoomSimConfig {
     pub alarm_latency: SimDuration,
     /// Pub/sub duplication/reordering injection.
     pub delivery_chaos: DeliveryChaos,
+    /// Whether restarted (or isolation-declared) instances rebuild via
+    /// the deterministic recovery protocol (snapshot + catch-up replay,
+    /// see [`crate::recovery`]). With this off they come back blank —
+    /// the ablated mode the chaos A/B probes exercise.
+    pub recovery: bool,
+    /// How long an instance may go without a single telemetry delivery
+    /// — while some peer *is* receiving — before the supervisor
+    /// declares it isolated, bumps its epoch (fencing its in-flight
+    /// commands), and schedules a rebuild. Strictly longer than the
+    /// controller's 4 s blackout deadline so a room-wide dark window
+    /// still triggers the blind shed unfenced: isolation requires a
+    /// *divergence* between instances, not mere darkness.
+    pub isolation_deadline: SimDuration,
     /// Root seed for all stochastic components.
     pub seed: u64,
     /// Observability: metrics, spans, and the flight recorder are wired
@@ -110,6 +124,8 @@ impl Default for RoomSimConfig {
             watchdog_poll_interval: SimDuration::from_millis(500),
             alarm_latency: SimDuration::from_millis(200),
             delivery_chaos: DeliveryChaos::off(),
+            recovery: true,
+            isolation_deadline: SimDuration::from_secs(9),
             seed: 0xF1EC,
             obs: Obs::noop(),
         }
@@ -149,6 +165,49 @@ pub enum SimEvent {
         /// The target rack.
         rack: RackId,
     },
+    /// The actuation layer rejected a command carrying an epoch older
+    /// than the newest it has seen from that instance.
+    CommandFenced {
+        /// The superseded issuer.
+        controller: usize,
+        /// The target rack (no state change happened).
+        rack: RackId,
+    },
+    /// A command tagged stale (old epoch) was applied anyway because
+    /// fencing is disabled — the violation the fencing oracle clause
+    /// looks for in ablated runs.
+    StaleApplied {
+        /// The rack that transitioned on a stale command.
+        rack: RackId,
+    },
+}
+
+/// A pub/sub partition window: during `[from, until)`, instances in
+/// `side_a` receive only deliveries carried by pub/sub channel 0, and
+/// every other instance only deliveries from the remaining channels.
+/// The two sides build divergent telemetry views until the heal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PubSubPartition {
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Partition end (exclusive) — the heal instant.
+    pub until: SimTime,
+    /// Controller instances on the channel-0 side.
+    pub side_a: Vec<usize>,
+}
+
+impl PubSubPartition {
+    /// Whether instance `i` can see a delivery on `pubsub` at `at`.
+    fn visible(&self, i: usize, pubsub: usize, at: SimTime) -> bool {
+        if at < self.from || at >= self.until {
+            return true;
+        }
+        if self.side_a.contains(&i) {
+            pubsub == 0
+        } else {
+            pubsub != 0
+        }
+    }
 }
 
 /// Statistics collected during a run.
@@ -250,6 +309,33 @@ pub struct RoomWorld {
     /// this to distinguish "rack Off with an owner still working on it"
     /// from an orphaned rack.
     inflight: BTreeMap<RackId, usize>,
+    /// Authoritative per-instance epoch: what the *current* incarnation
+    /// of instance `i` should carry. Bumped on crash restart and on
+    /// watchdog-declared isolation.
+    epochs: Vec<u64>,
+    /// Instance availability at the previous refresh — the down→up edge
+    /// detector.
+    was_up: Vec<bool>,
+    /// Set when the isolation supervisor declared the instance stale;
+    /// the next refresh rebuilds it.
+    needs_recovery: Vec<bool>,
+    /// Per-instance per-UPS highest delivered telemetry sequence
+    /// (advisory cursor carried into recovery snapshots).
+    acks: Vec<Vec<u64>>,
+    /// When each instance last received any telemetry delivery.
+    last_delivery_at: Vec<SimTime>,
+    /// Standing failover alarms and when each was raised (the alarm
+    /// registry recovery snapshots draw from).
+    alarm_since: BTreeMap<UpsId, SimTime>,
+    /// The shared recent-delivery window restarted instances catch up
+    /// from.
+    catch_up: CatchUpBuffer,
+    /// Active pub/sub partition, if any.
+    partition: Option<PubSubPartition>,
+    /// Whether rebuilds use the recovery protocol (from the config).
+    recovery_enabled: bool,
+    /// Isolation-supervisor silence threshold (from the config).
+    isolation_deadline: SimDuration,
     /// Observability instruments.
     sim_obs: SimObs,
     /// Statistics.
@@ -327,6 +413,143 @@ impl RoomWorld {
             .map_or(true, |n| self.controller_faults.is_up(n, now))
     }
 
+    /// Brings instance `i` current before it is fed anything: a
+    /// down→up edge or a standing isolation declaration rebuilds it in
+    /// a fresh epoch — via the recovery protocol when enabled, blank
+    /// otherwise. Runs at the top of every input path (delivery, alarm,
+    /// restore notification, watchdog tick), so a dead incarnation's
+    /// state is never consulted after its epoch was superseded.
+    fn refresh_instance(&mut self, i: usize, now: SimTime) {
+        let up = self.controller_up(i, now);
+        let Some(was) = self.was_up.get_mut(i) else {
+            return;
+        };
+        let was_up = std::mem::replace(was, up);
+        if !up {
+            return;
+        }
+        let declared = self.needs_recovery.get(i).copied().unwrap_or(false);
+        if was_up && !declared {
+            return;
+        }
+        if let Some(flag) = self.needs_recovery.get_mut(i) {
+            *flag = false;
+        }
+        if !was_up {
+            // Crash restart: the isolation path already bumped.
+            if let Some(e) = self.epochs.get_mut(i) {
+                *e += 1;
+            }
+            let epoch = self.epochs.get(i).copied().unwrap_or(0);
+            self.actuator.observe_epoch(i, epoch);
+            self.sim_obs.obs.record_with(now, || FlightEvent::EpochBump {
+                controller: i as u32,
+                epoch,
+            });
+        }
+        let epoch = self.epochs.get(i).copied().unwrap_or(0);
+        let Some(base) = self.controllers.get(i) else {
+            return;
+        };
+        let rebuilt = if self.recovery_enabled {
+            self.sim_obs.obs.record_with(now, || FlightEvent::RecoveryStarted {
+                controller: i as u32,
+                epoch,
+            });
+            let snapshot = RecoverySnapshot {
+                epoch,
+                rack_states: self.actuator.states().to_vec(),
+                inflight: self.actuator.pending().to_vec(),
+                alarmed: self.alarm_since.iter().map(|(&u, &t)| (u, t)).collect(),
+                last_seq: self.acks.get(i).cloned().unwrap_or_default(),
+            };
+            let items = self.catch_up.items();
+            let rebuilt = match Controller::recover(base, &snapshot, &items, now) {
+                Ok(c) => c,
+                // Shape mismatches cannot happen for a snapshot taken
+                // from this very room; degrade to a blank restart
+                // rather than panic mid-event-loop (lint rule P1).
+                Err(_) => {
+                    let mut c = base.fresh_like();
+                    c.set_epoch(epoch);
+                    c
+                }
+            };
+            self.sim_obs.obs.record_with(now, || FlightEvent::RecoveryCompleted {
+                controller: i as u32,
+                epoch,
+                rack_states: snapshot.rack_states.iter().map(|&s| state_code(s)).collect(),
+                inflight: snapshot
+                    .inflight
+                    .iter()
+                    .map(|p| (p.rack.0 as u32, state_code(p.new_state), p.apply_at.as_nanos()))
+                    .collect(),
+                alarmed: snapshot
+                    .alarmed
+                    .iter()
+                    .map(|&(u, t)| (u.0 as u32, t.as_nanos()))
+                    .collect(),
+                last_seq: snapshot.last_seq.clone(),
+            });
+            rebuilt
+        } else {
+            let mut c = base.fresh_like();
+            c.set_epoch(epoch);
+            c
+        };
+        if let Some(slot) = self.controllers.get_mut(i) {
+            *slot = rebuilt;
+        }
+        // The rebuild counts as contact: a fresh incarnation gets a
+        // full silence window before it can be declared isolated.
+        if let Some(t) = self.last_delivery_at.get_mut(i) {
+            *t = now;
+        }
+    }
+
+    fn refresh_all(&mut self, now: SimTime) {
+        for i in 0..self.controllers.len() {
+            self.refresh_instance(i, now);
+        }
+    }
+
+    /// The isolation supervisor: declares instance `i` stale when it
+    /// has heard no telemetry for a full deadline while some peer has.
+    /// The epoch bump immediately fences the instance's outstanding
+    /// commands; the rebuild happens at its next refresh (until then it
+    /// is fed nothing, so the superseded state produces no output).
+    /// Returns true if a declaration is standing.
+    fn maybe_declare_isolated(&mut self, i: usize, now: SimTime) -> bool {
+        if self.needs_recovery.get(i).copied().unwrap_or(false) {
+            return true;
+        }
+        let heard = |t: Option<&SimTime>| match t {
+            Some(&t) => now.saturating_since(t) < self.isolation_deadline,
+            None => true,
+        };
+        if heard(self.last_delivery_at.get(i)) {
+            return false;
+        }
+        let peer_heard = (0..self.controllers.len())
+            .any(|j| j != i && self.controller_up(j, now) && heard(self.last_delivery_at.get(j)));
+        if !peer_heard {
+            return false;
+        }
+        if let Some(e) = self.epochs.get_mut(i) {
+            *e += 1;
+        }
+        let epoch = self.epochs.get(i).copied().unwrap_or(0);
+        self.actuator.observe_epoch(i, epoch);
+        if let Some(flag) = self.needs_recovery.get_mut(i) {
+            *flag = true;
+        }
+        self.sim_obs.obs.record_with(now, || FlightEvent::EpochBump {
+            controller: i as u32,
+            epoch,
+        });
+        true
+    }
+
     fn bump_inflight(&mut self, rack: RackId, delta: isize) {
         let entry = self.inflight.entry(rack).or_insert(0);
         if delta >= 0 {
@@ -378,7 +601,14 @@ impl RoomWorld {
                 *entry += 1;
                 *entry
             };
-            self.submit_with_retry(now, controller_idx, cmd, 1, gen, ctx);
+            // The command carries the *instance's* epoch, not the
+            // authoritative one: a superseded incarnation keeps issuing
+            // under its old epoch and the actuation layer fences it.
+            let epoch = self
+                .controllers
+                .get(controller_idx)
+                .map_or(0, |c| c.epoch());
+            self.submit_with_retry(now, controller_idx, epoch, cmd, 1, gen, ctx);
         }
     }
 
@@ -390,6 +620,7 @@ impl RoomWorld {
         &mut self,
         now: SimTime,
         controller_idx: usize,
+        epoch: u64,
         cmd: Command,
         attempt: u32,
         gen: u64,
@@ -398,12 +629,17 @@ impl RoomWorld {
         let rack = match cmd {
             Command::Act { rack, .. } | Command::Restore { rack } => rack,
         };
-        let pending = match cmd {
-            Command::Act { rack, kind } => self.actuator.submit_action(now, rack, kind),
-            Command::Restore { rack } => self.actuator.submit_restore(now, rack),
+        let submission = match cmd {
+            Command::Act { rack, kind } => {
+                self.actuator
+                    .submit_action(now, controller_idx, epoch, rack, kind)
+            }
+            Command::Restore { rack } => {
+                self.actuator.submit_restore(now, controller_idx, epoch, rack)
+            }
         };
-        match pending {
-            Some(p) => {
+        match submission {
+            Submission::Accepted(p) => {
                 self.stats
                     .action_latency
                     .record((p.apply_at - now).as_secs_f64());
@@ -418,6 +654,13 @@ impl RoomWorld {
                             state: crate::actuation::state_code(p.new_state),
                         }
                     });
+                    if p.stale {
+                        // Only reachable with fencing disabled: the
+                        // violation the fencing oracle clause hunts.
+                        w.stats
+                            .events
+                            .push((p.apply_at, SimEvent::StaleApplied { rack: p.rack }));
+                    }
                     w.stats.events.push((
                         p.apply_at,
                         SimEvent::Applied {
@@ -427,7 +670,20 @@ impl RoomWorld {
                     ));
                 });
             }
-            None if attempt <= self.actuator.config().max_retries => {
+            // A fenced command dies silently from the issuer's point of
+            // view: its epoch was superseded, so a newer incarnation
+            // owns the rack — no retry, no enforcement-failure feedback
+            // to the stale instance.
+            Submission::Fenced => {
+                self.stats.events.push((
+                    now,
+                    SimEvent::CommandFenced {
+                        controller: controller_idx,
+                        rack,
+                    },
+                ));
+            }
+            Submission::Unreachable if attempt <= self.actuator.config().max_retries => {
                 let backoff = self.actuator.config().retry_backoff(attempt);
                 self.sim_obs.retries.inc();
                 self.sim_obs.obs.record_with(now, || FlightEvent::CommandRetried {
@@ -445,10 +701,13 @@ impl RoomWorld {
                         return;
                     }
                     let later = ctx.now();
-                    w.submit_with_retry(later, controller_idx, cmd, attempt + 1, gen, ctx);
+                    // The retry resubmits under the epoch the command
+                    // was born with: a chain whose issuer restarted
+                    // mid-backoff gets fenced, not replayed.
+                    w.submit_with_retry(later, controller_idx, epoch, cmd, attempt + 1, gen, ctx);
                 });
             }
-            None => {
+            Submission::Unreachable => {
                 self.sim_obs.enforcement_drops.inc();
                 self.sim_obs.obs.record_with(now, || {
                     FlightEvent::EnforcementDropped {
@@ -473,6 +732,8 @@ impl RoomWorld {
 fn schedule_failover_alarm(w: &mut RoomWorld, ctx: &mut Ctx<RoomWorld>, now: SimTime, ups: UpsId) {
     let alarm_at = now + w.alarm_latency;
     ctx.schedule_at(alarm_at, move |w: &mut RoomWorld, _| {
+        w.refresh_all(alarm_at);
+        w.alarm_since.entry(ups).or_insert(alarm_at);
         for i in 0..w.controllers.len() {
             if !w.controller_up(i, alarm_at) {
                 continue;
@@ -504,23 +765,42 @@ fn dispatch_delivery(w: &mut RoomWorld, ctx: &mut Ctx<RoomWorld>, d: &Delivery) 
     for arrive in arrivals {
         let payload = d.payload.clone();
         let measured_at = d.measured_at;
+        let pipeline_seq = d.seq;
+        let pubsub = d.pubsub;
         ctx.schedule_at(arrive, move |w: &mut RoomWorld, ctx| {
+            // Any restarted/declared instance rebuilds *before* this
+            // delivery exists anywhere: the catch-up buffer gains it
+            // below, and the live feed follows — so the recovered state
+            // plus the subsequent feed matches a never-crashed twin.
+            w.refresh_all(arrive);
+            w.catch_up.push(BufferedDelivery {
+                seq: pipeline_seq,
+                arrive_at: arrive,
+                measured_at,
+                payload: payload.clone(),
+            });
             // A crashed instance processes nothing; an erroring one
-            // contributes no commands. The other primaries cover.
+            // contributes no commands. The other primaries cover. A
+            // partition hides the delivery from the far side's mask.
             // The mask caps the room at 32 instances — far above any
             // realistic multi-primary count (the paper runs 3).
             let up_mask = (0..w.controllers.len().min(32))
                 .filter(|&i| w.controller_up(i, arrive))
+                .filter(|&i| {
+                    w.partition
+                        .as_ref()
+                        .map_or(true, |p| p.visible(i, pubsub, arrive))
+                })
                 .fold(0u32, |m, i| m | (1 << i));
-            if up_mask == 0 {
-                return;
-            }
             // The recorded delivery carries the controllers' full input
             // (receiver mask + readings + measurement time), so a dump
             // can be replayed through `flex_online::replay` to
             // reproduce the decision sequence without re-running the
             // room. One event covers all receivers: they see the same
-            // payload at the same instant.
+            // payload at the same instant. Mask-0 arrivals are recorded
+            // too — replay mirrors the catch-up buffer from these
+            // events, and a delivery nobody saw live can still resurface
+            // through a later recovery.
             w.sim_obs.obs.record_with(arrive, || match &payload {
                 TelemetryPayload::UpsSnapshot(snap) => FlightEvent::UpsDelivery {
                     controllers: up_mask,
@@ -536,6 +816,18 @@ fn dispatch_delivery(w: &mut RoomWorld, ctx: &mut Ctx<RoomWorld>, d: &Delivery) 
             for i in 0..w.controllers.len() {
                 if up_mask & (1 << i) == 0 {
                     continue;
+                }
+                if let Some(t) = w.last_delivery_at.get_mut(i) {
+                    *t = arrive;
+                }
+                if let TelemetryPayload::UpsSnapshot(snap) = &payload {
+                    if let Some(acks) = w.acks.get_mut(i) {
+                        for &(u, _) in snap {
+                            if let Some(slot) = acks.get_mut(u.0) {
+                                *slot = (*slot).max(pipeline_seq);
+                            }
+                        }
+                    }
                 }
                 let commands = match w.controllers.get_mut(i) {
                     Some(c) => c
@@ -597,7 +889,18 @@ impl RoomSim {
         let controller_names = (0..config.controllers)
             .map(fault_names::controller)
             .collect();
+        let ups_count = topo.ups_count();
         let world = RoomWorld {
+            epochs: vec![0; config.controllers],
+            was_up: vec![true; config.controllers],
+            needs_recovery: vec![false; config.controllers],
+            acks: vec![vec![0; ups_count]; config.controllers],
+            last_delivery_at: vec![SimTime::ZERO; config.controllers],
+            alarm_since: BTreeMap::new(),
+            catch_up: CatchUpBuffer::new(),
+            partition: None,
+            recovery_enabled: config.recovery,
+            isolation_deadline: config.isolation_deadline,
             topo,
             racks,
             demand_fn,
@@ -754,8 +1057,15 @@ impl RoomSim {
         fn watchdog_tick(interval: SimDuration) -> impl FnMut(&mut RoomWorld, &mut Ctx<RoomWorld>) {
             move |w, ctx| {
                 let now = ctx.now();
+                w.refresh_all(now);
                 for i in 0..w.controllers.len() {
                     if !w.controller_up(i, now) {
+                        continue;
+                    }
+                    // A just-declared instance is fed nothing until its
+                    // rebuild at the next refresh: its superseded state
+                    // must produce no further output.
+                    if w.maybe_declare_isolated(i, now) {
                         continue;
                     }
                     let commands = match w.controllers.get_mut(i) {
@@ -805,6 +1115,8 @@ impl RoomSim {
                 w.stats.events.push((t, SimEvent::UpsRestored(ups)));
                 let alarm_at = t + w.alarm_latency;
                 ctx.schedule_at(alarm_at, move |w: &mut RoomWorld, _| {
+                    w.refresh_all(alarm_at);
+                    w.alarm_since.remove(&ups);
                     for i in 0..w.controllers.len() {
                         if !w.controller_up(i, alarm_at) {
                             continue;
@@ -895,6 +1207,21 @@ impl RoomWorld {
     /// this rack — i.e. some owner is actively working on it.
     pub fn pending_enforcement(&self, rack: RackId) -> bool {
         self.inflight.get(&rack).copied().unwrap_or(0) > 0
+    }
+
+    /// Installs (or clears) a pub/sub partition window.
+    pub fn set_partition(&mut self, partition: Option<PubSubPartition>) {
+        self.partition = partition;
+    }
+
+    /// The authoritative per-instance epochs (index = instance).
+    pub fn epochs(&self) -> &[u64] {
+        &self.epochs
+    }
+
+    /// The actuation layer (fence state, pending commands, rack truth).
+    pub fn actuator(&self) -> &Actuator {
+        &self.actuator
     }
 
     /// The observability handle this world records into (noop unless

@@ -100,7 +100,9 @@ impl CascadeSim {
     /// Returns [`PowerError::UnknownUps`] for a foreign id.
     pub fn restore_ups(&mut self, id: UpsId) -> Result<(), PowerError> {
         self.feed.restore(id)?;
-        self.accumulators[id.0].reset();
+        if let Some(acc) = self.accumulators.get_mut(id.0) {
+            acc.reset();
+        }
         Ok(())
     }
 
@@ -141,7 +143,11 @@ impl CascadeSim {
                 continue;
             }
             let fraction = loads.load(id) / ups.capacity();
-            if self.accumulators[id.0].advance(dt_secs, fraction) {
+            let tripped = self
+                .accumulators
+                .get_mut(id.0)
+                .is_some_and(|acc| acc.advance(dt_secs, fraction));
+            if tripped {
                 newly_tripped.push(id);
             }
         }

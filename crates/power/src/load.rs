@@ -144,15 +144,20 @@ impl LoadModel {
     /// Per-UPS load under the given feed state.
     pub fn ups_loads(&self, feed: &FeedState) -> UpsLoads {
         let mut loads = vec![Watts::ZERO; self.topo.ups_count()];
+        let add = |loads: &mut Vec<Watts>, u: UpsId, w: Watts| {
+            if let Some(slot) = loads.get_mut(u.0) {
+                *slot += w;
+            }
+        };
         for pair in self.topo.pdu_pairs() {
-            let load = self.pair_loads[pair.id().0];
+            let load = self.pair_load(pair.id());
             match feed.pair_feed(pair) {
                 PairFeed::Both => {
                     let (a, b) = pair.upstream();
-                    loads[a.0] += load * 0.5;
-                    loads[b.0] += load * 0.5;
+                    add(&mut loads, a, load * 0.5);
+                    add(&mut loads, b, load * 0.5);
                 }
-                PairFeed::Single(u) => loads[u.0] += load,
+                PairFeed::Single(u) => add(&mut loads, u, load),
                 PairFeed::Dead => {}
             }
         }
@@ -165,7 +170,7 @@ impl LoadModel {
             .pdu_pairs()
             .iter()
             .filter(|p| feed.pair_feed(p) == PairFeed::Dead)
-            .map(|p| self.pair_loads[p.id().0])
+            .map(|p| self.pair_load(p.id()))
             .sum()
     }
 }

@@ -166,8 +166,12 @@ impl TopologyBuilder {
         }
         let mut pairs_by_ups = vec![Vec::new(); self.upses.len()];
         for pair in &self.pairs {
-            pairs_by_ups[pair.upstream.0 .0].push(pair.id);
-            pairs_by_ups[pair.upstream.1 .0].push(pair.id);
+            // Both endpoints were bounds-checked in add_pdu_pair.
+            for end in [pair.upstream.0, pair.upstream.1] {
+                if let Some(slot) = pairs_by_ups.get_mut(end.0) {
+                    slot.push(pair.id);
+                }
+            }
         }
         Ok(Topology {
             upses: self.upses,
@@ -222,10 +226,10 @@ impl Topology {
         let ids: Vec<UpsId> = (0..x)
             .map(|_| b.add_ups(ups_capacity))
             .collect::<Result<_, _>>()?;
-        for i in 0..x {
-            for j in (i + 1)..x {
+        for (i, &ups_i) in ids.iter().enumerate() {
+            for &ups_j in ids.iter().skip(i + 1) {
                 for _ in 0..pairs_per_combination {
-                    b.add_pdu_pair(ids[i], ids[j])?;
+                    b.add_pdu_pair(ups_i, ups_j)?;
                 }
             }
         }

@@ -150,7 +150,9 @@ impl TripCurve {
 
     /// The load fraction below which overload never trips the device.
     pub fn trip_threshold(&self) -> f64 {
-        self.points[0].load_fraction
+        // `TripCurve::new` rejects empty curves; degrade to "never
+        // trips" rather than panic if that ever breaks.
+        self.points.first().map_or(f64::INFINITY, |p| p.load_fraction)
     }
 
     /// Tolerance (seconds) for sustaining `load_fraction`, or `None` when
@@ -176,10 +178,16 @@ impl TripCurve {
             return Some(last.tolerance_secs);
         }
         // Find the surrounding points and interpolate on log-log axes.
+        // The threshold and last-point checks above guarantee the
+        // partition point is interior; degrade to the endpoint
+        // tolerance rather than panic if that ever breaks.
         let idx = self
             .points
             .partition_point(|p| p.load_fraction < load_fraction);
-        let (lo, hi) = (&self.points[idx - 1], &self.points[idx]);
+        let (Some(lo), Some(hi)) = (self.points.get(idx.wrapping_sub(1)), self.points.get(idx))
+        else {
+            return Some(last.tolerance_secs);
+        };
         let t = (load_fraction.ln() - lo.load_fraction.ln())
             / (hi.load_fraction.ln() - lo.load_fraction.ln());
         Some((lo.tolerance_secs.ln() * (1.0 - t) + hi.tolerance_secs.ln() * t).exp())

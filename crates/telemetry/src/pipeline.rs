@@ -25,6 +25,11 @@ pub enum TelemetryPayload {
 /// One message en route to subscribers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Delivery {
+    /// Publication sequence number, strictly increasing per pipeline
+    /// across both UPS and rack deliveries. Recovery catch-up uses it as
+    /// an advisory cursor (see `flex_online::recovery`); duplicates
+    /// injected downstream share the original's number.
+    pub seq: u64,
     /// Which poller produced it.
     pub poller: usize,
     /// Which pub/sub instance carries it.
@@ -66,6 +71,7 @@ pub struct Pipeline {
     latency_rng: SmallRng,
     latency_dist: LogNormal,
     data_latency: Percentiles,
+    next_seq: u64,
     // Fault-plan component names, precomputed once: `is_up` runs per
     // component per poll tick, and formatting names there dominated the
     // poll cost (see benches/fault_plan.rs).
@@ -98,6 +104,7 @@ impl Pipeline {
             ),
             faults: FaultPlan::new(),
             data_latency: Percentiles::new(),
+            next_seq: 0,
             poller_names: (0..config.pollers).map(names::poller).collect(),
             switch_names: (0..config.switch_groups.max(1)).map(names::switch).collect(),
             pubsub_names: (0..config.pubsub_instances).map(names::pubsub).collect(),
@@ -231,7 +238,10 @@ impl Pipeline {
                     .record((arrive_at - now).as_secs_f64());
                 self.deliveries.inc();
                 self.measure_to_arrive.record_between(now, arrive_at);
+                let seq = self.next_seq;
+                self.next_seq += 1;
                 deliveries.push(Delivery {
+                    seq,
                     poller,
                     pubsub,
                     measured_at: now,
@@ -274,7 +284,10 @@ impl Pipeline {
                 let arrive_at = self.sample_delivery_time(now);
                 self.deliveries.inc();
                 self.measure_to_arrive.record_between(now, arrive_at);
+                let seq = self.next_seq;
+                self.next_seq += 1;
                 deliveries.push(Delivery {
+                    seq,
                     poller,
                     pubsub,
                     measured_at: now,

@@ -57,6 +57,15 @@ fn run(controllers: usize, label: &str) {
             SimEvent::EnforcementDropped { rack } => {
                 println!("  {at} rack {} enforcement DROPPED after retries", rack.0)
             }
+            SimEvent::CommandFenced { controller, rack } => {
+                println!(
+                    "  {at} rack {} command from controller {controller} FENCED (superseded epoch)",
+                    rack.0
+                )
+            }
+            SimEvent::StaleApplied { rack } => {
+                println!("  {at} rack {} transitioned on a stale-epoch command", rack.0)
+            }
             SimEvent::Applied { .. } => {}
         }
     }

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Tier-2 recovery/fencing smoke gate: fixed-seed campaigns over the two
+# controller-lifecycle scenario families (restart_storm, split_brain;
+# see DESIGN.md "Recovery and fencing"). Three checks, budgeted at 30 s
+# wall clock after the build:
+#
+#   1. the hardened restart-storm and split-brain campaigns are clean
+#      AND byte-identical across two runs (recovery is deterministic);
+#   2. the same campaigns with epoch fencing and crash recovery disabled
+#      fail every scenario, deterministically, with both failure modes
+#      on display: stale-epoch actuation and orphaned racks;
+#   3. a failing scenario replays from its JSON text alone (non-zero
+#      exit), and the same replay with --harden comes back clean.
+#
+# Usage: scripts/recovery_smoke.sh
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SEED=802821        # same fixed gate seed as chaos_smoke.sh
+SCENARIOS=64       # 8 per family; --family filters to one family's 8
+
+cargo build --offline --release -q -p flex-chaos
+BIN=./target/release/flex-chaos
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+start=$(date +%s%N)
+
+echo "== recovery smoke 1/3: hardened lifecycle families, deterministic and clean =="
+for family in restart_storm split_brain; do
+    "$BIN" run --seed "$SEED" --scenarios "$SCENARIOS" --family "$family" \
+        --no-minimize --no-obs --json "$TMP/$family-a.json"
+    "$BIN" run --seed "$SEED" --scenarios "$SCENARIOS" --family "$family" \
+        --no-minimize --no-obs --json "$TMP/$family-b.json" >/dev/null
+    cmp "$TMP/$family-a.json" "$TMP/$family-b.json" || {
+        echo "recovery smoke: FAIL — $family reports differ between runs" >&2
+        exit 1
+    }
+    grep -q '"failures":\[\]' "$TMP/$family-a.json" || {
+        echo "recovery smoke: FAIL — hardened $family campaign has failures" >&2
+        exit 1
+    }
+done
+
+echo "== recovery smoke 2/3: fencing + recovery must be load-bearing =="
+for family in restart_storm split_brain; do
+    "$BIN" run --seed "$SEED" --scenarios "$SCENARIOS" --family "$family" \
+        --no-fencing --no-recovery --no-minimize --no-obs \
+        --json "$TMP/$family-abl-a.json" >/dev/null || true
+    "$BIN" run --seed "$SEED" --scenarios "$SCENARIOS" --family "$family" \
+        --no-fencing --no-recovery --no-minimize --no-obs \
+        --json "$TMP/$family-abl-b.json" >/dev/null || true
+    cmp "$TMP/$family-abl-a.json" "$TMP/$family-abl-b.json" || {
+        echo "recovery smoke: FAIL — ablated $family reports differ between runs" >&2
+        exit 1
+    }
+    grep -q '"kind":"orphaned-rack"' "$TMP/$family-abl-a.json" || {
+        echo "recovery smoke: FAIL — ablated $family produced no orphaned rack" >&2
+        exit 1
+    }
+done
+# Stale-epoch actuation needs live retry chains straddling a restart —
+# the restart storm's signature failure.
+grep -q '"kind":"stale-command"' "$TMP/restart_storm-abl-a.json" || {
+    echo "recovery smoke: FAIL — ablated restart storm applied no stale command" >&2
+    exit 1
+}
+
+echo "== recovery smoke 3/3: replay ablated failure, then replay it hardened =="
+if command -v jq >/dev/null; then
+    jq -c '.failures[0].scenario' "$TMP/restart_storm-abl-a.json" \
+        > "$TMP/repro.json"
+    # The reproducer carries fencing:false/recovery:false, so replay
+    # must report the violations (non-zero exit) ...
+    "$BIN" replay --file "$TMP/repro.json" --json "$TMP/r1.json" \
+        && { echo "recovery smoke: FAIL — ablated reproducer replayed clean" >&2; exit 1; }
+    grep -q '"kind":"stale-command"' "$TMP/r1.json" || {
+        echo "recovery smoke: FAIL — replay lost the stale-command violation" >&2
+        exit 1
+    }
+    # ... and the identical scenario with every hardening switch forced
+    # back on must come back clean (exit 0).
+    "$BIN" replay --file "$TMP/repro.json" --harden --json "$TMP/r2.json" || {
+        echo "recovery smoke: FAIL — hardened replay still fails" >&2
+        exit 1
+    }
+else
+    echo "(jq not found — replay check covered by crates/chaos/tests)"
+fi
+
+elapsed_ms=$(( ($(date +%s%N) - start) / 1000000 ))
+echo "recovery smoke: OK (${elapsed_ms} ms, budget 30000 ms)"
+if [ "$elapsed_ms" -ge 30000 ]; then
+    echo "recovery smoke: FAIL — exceeded the 30 s budget" >&2
+    exit 1
+fi
